@@ -1,0 +1,56 @@
+"""Ablation -- the inter-line diagnosis threshold (Section VI-A / VIII).
+
+The paper convicts a chip when >= 10% of the row buffer's 128 lines
+return catch-words.  Lower thresholds convict faster but risk blaming
+scaling noise (SDC); higher thresholds are safe but can miss partial
+row damage.  This ablation sweeps the threshold against (a) the
+analytic false-conviction probability under scaling faults and (b) the
+behavioural model's ability to convict a genuine row failure.
+"""
+
+from benchmarks.conftest import SCALE
+from repro.core import XedController, inter_line_diagnosis
+from repro.dram import XedDimm
+from repro.dram.chip import FaultGranularity
+from repro.faultsim.scaling import ScalingFaultModel
+
+THRESHOLDS = (0.02, 0.05, 0.10, 0.20, 0.50)
+
+
+def run_sweep():
+    rows = []
+    trials = 3 if SCALE == "quick" else 10
+    for threshold in THRESHOLDS:
+        false_p = ScalingFaultModel(bit_error_rate=1e-4).p_row_reaches_threshold(
+            threshold=threshold
+        )
+        convicted = 0
+        for trial in range(trials):
+            dimm = XedDimm.build(seed=trial, scaling_ber=1e-4)
+            ctrl = XedController(dimm, seed=trial + 1)
+            for col in range(128):
+                ctrl.write_line(0, 5, col, [col + i for i in range(8)])
+            dimm.inject_chip_failure(
+                chip=trial % 9, granularity=FaultGranularity.ROW,
+                bank=0, row=5,
+            )
+            result = inter_line_diagnosis(
+                dimm, ctrl.catch_words, 0, 5, threshold=threshold
+            )
+            convicted += result.faulty_chip == trial % 9
+        rows.append((threshold, false_p, convicted / trials))
+    return rows
+
+
+def test_ablation_fct_threshold(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\nthreshold | P(false conviction @1e-4) | row-failure conviction")
+    for threshold, false_p, conviction in rows:
+        print(f"   {threshold:5.2f}  | {false_p:24.2e} | {conviction:18.0%}")
+    by_thresh = {t: (fp, cv) for t, fp, cv in rows}
+    # The paper's 10% point: astronomically safe AND always convicts.
+    assert by_thresh[0.10][0] < 1e-10
+    assert by_thresh[0.10][1] == 1.0
+    # False-conviction risk is monotone decreasing in the threshold.
+    fps = [fp for _, fp, _ in rows]
+    assert fps == sorted(fps, reverse=True)

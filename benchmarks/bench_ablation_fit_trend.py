@@ -1,0 +1,65 @@
+"""Ablation -- reliability trend as DRAM scaling worsens fault rates.
+
+The paper's motivation (Section I) is that smaller technology nodes
+make DRAM *less* reliable, so solutions like XED become necessary.
+This study sweeps a fault-rate multiplier over the Table-I field rates
+(1x = today's field data, 8x = a pessimistic future node) and tracks
+each scheme's failure probability.  Expected shape: ECC-DIMM degrades
+linearly (single-fault-dominated), while XED and Chipkill degrade
+quadratically (pair-dominated) but from a floor orders of magnitude
+lower -- XED's advantage *grows* in absolute terms as nodes shrink.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.faultsim import (
+    ChipkillScheme,
+    EccDimmScheme,
+    FitTable,
+    MonteCarloConfig,
+    XedScheme,
+    simulate,
+)
+
+MULTIPLIERS = (1.0, 2.0, 4.0, 8.0)
+
+
+def run_sweep():
+    systems = 100_000 if SCALE == "quick" else 400_000
+    rows = []
+    for mult in MULTIPLIERS:
+        cfg = MonteCarloConfig(
+            num_systems=systems, seed=31, fit=FitTable().scaled(mult)
+        )
+        row = {
+            "mult": mult,
+            "ecc": simulate(EccDimmScheme(), cfg).probability_of_failure,
+            "xed": simulate(XedScheme(), cfg).probability_of_failure,
+            "ck": simulate(ChipkillScheme(), cfg).probability_of_failure,
+        }
+        rows.append(row)
+    return rows
+
+
+def test_ablation_fit_rate_trend(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\nFIT multiplier | ECC-DIMM | XED | Chipkill | XED advantage")
+    for row in rows:
+        advantage = row["ecc"] / row["xed"] if row["xed"] else float("inf")
+        print(
+            f"{row['mult']:14.0f} | {row['ecc']:.3e} | {row['xed']:.3e} | "
+            f"{row['ck']:.3e} | {advantage:8.0f}x"
+        )
+
+    # ECC-DIMM failure scales ~linearly with the rate multiplier.
+    ratio_ecc = rows[-1]["ecc"] / rows[0]["ecc"]
+    assert 3.0 < ratio_ecc < 9.0  # sublinear only via saturation
+
+    # XED failure scales ~quadratically (pair-driven).
+    ratio_xed = rows[-1]["xed"] / rows[0]["xed"]
+    assert ratio_xed > 20.0
+
+    # XED stays the most reliable scheme at every multiplier.
+    for row in rows:
+        assert row["xed"] < row["ck"] < row["ecc"]

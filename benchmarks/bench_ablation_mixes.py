@@ -1,0 +1,60 @@
+"""Ablation -- multiprogrammed mixes vs the paper's rate mode.
+
+The paper evaluates in rate mode (8 copies of one benchmark).  Real
+servers run mixes, where a bandwidth hog shares channels with latency-
+sensitive neighbours.  This study samples random 8-way mixes from the
+roster and measures the Chipkill slowdown distribution: the claim worth
+checking is that rate mode is not hiding anything -- mixes suffer
+comparable (indeed, similar-ranged) Chipkill overheads, so the paper's
+headline +21% is representative, not an artifact of homogeneity.
+"""
+
+import random
+
+from benchmarks.conftest import SCALE
+from repro.perfsim.engine import simulate_system
+from repro.perfsim.configs import SCHEME_CONFIGS
+from repro.perfsim.workloads import WORKLOADS
+
+NUM_MIXES_QUICK = 3
+NUM_MIXES_FULL = 8
+
+
+def run_sweep():
+    rng = random.Random(2016)
+    num_mixes = NUM_MIXES_QUICK if SCALE == "quick" else NUM_MIXES_FULL
+    instructions = 15_000 if SCALE == "quick" else 40_000
+    rows = []
+    for mix_idx in range(num_mixes):
+        mix = rng.sample(WORKLOADS, 8)
+        base = simulate_system(
+            mix, SCHEME_CONFIGS["ecc_dimm"],
+            instructions_per_core=instructions, seed=mix_idx,
+        )
+        ck = simulate_system(
+            mix, SCHEME_CONFIGS["chipkill"],
+            instructions_per_core=instructions, seed=mix_idx,
+        )
+        xed = simulate_system(
+            mix, SCHEME_CONFIGS["xed"],
+            instructions_per_core=instructions, seed=mix_idx,
+        )
+        rows.append({
+            "mix": ",".join(w.name for w in mix),
+            "chipkill": ck.exec_bus_cycles / base.exec_bus_cycles,
+            "xed": xed.exec_bus_cycles / base.exec_bus_cycles,
+        })
+    return rows
+
+
+def test_ablation_multiprogrammed_mixes(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\nmix | XED | Chipkill (normalized time)")
+    for row in rows:
+        print(f"  {row['mix'][:60]:60s} | {row['xed']:.3f} | "
+              f"{row['chipkill']:.3f}")
+    slowdowns = [row["chipkill"] for row in rows]
+    # Every mix sees a real Chipkill cost, in the band rate mode spans.
+    assert all(1.03 < s < 1.8 for s in slowdowns), slowdowns
+    # And XED stays free under heterogeneity too.
+    assert all(abs(row["xed"] - 1.0) < 0.002 for row in rows)

@@ -1,0 +1,40 @@
+"""Ablation -- Monte-Carlo population size (convergence study).
+
+The paper simulates 1e9 systems; this reproduction defaults to 1e5-1e6.
+This bench shows the failure-probability estimate and its Wilson
+interval converging as the population grows, justifying the band-style
+assertions used throughout (see DESIGN.md's substitution notes).
+"""
+
+from benchmarks.conftest import SCALE
+from repro.faultsim import MonteCarloConfig, XedScheme, simulate
+
+POPULATIONS_QUICK = (20_000, 60_000, 180_000)
+POPULATIONS_FULL = (50_000, 150_000, 450_000, 1_350_000)
+
+
+def run_sweep():
+    pops = POPULATIONS_QUICK if SCALE == "quick" else POPULATIONS_FULL
+    return [
+        simulate(XedScheme(), MonteCarloConfig(num_systems=n, seed=77))
+        for n in pops
+    ]
+
+
+def test_ablation_population_convergence(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\npopulation | P(fail) | Wilson 95% CI | CI width")
+    widths = []
+    for result in results:
+        lo, hi = result.confidence_interval()
+        widths.append(hi - lo)
+        print(
+            f"{result.num_systems:10,d} | {result.probability_of_failure:.3e}"
+            f" | [{lo:.2e}, {hi:.2e}] | {hi - lo:.2e}"
+        )
+    # CI width must shrink with population...
+    assert widths[-1] < widths[0]
+    # ...and all estimates must agree within the widest interval.
+    largest = results[-1]
+    lo, hi = results[0].confidence_interval()
+    assert lo <= largest.probability_of_failure <= hi

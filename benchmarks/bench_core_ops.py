@@ -1,0 +1,73 @@
+"""Microbenchmarks -- throughput of the core building blocks.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the hot paths: the on-die CRC8 decode, the Reed-Solomon decode, the
+XED controller read path, and Monte-Carlo system evaluation.  They
+exist to keep the reproduction's performance honest as it evolves --
+regressions here make the paper-scale experiments infeasible.
+"""
+
+import random
+
+from repro.core import XedController
+from repro.dram import XedDimm
+from repro.ecc import CRC8ATMCode, HammingSECDED, ReedSolomonCode
+from repro.faultsim import MonteCarloConfig, XedScheme, simulate
+
+rng = random.Random(2016)
+
+
+def test_crc8_decode_throughput(benchmark):
+    code = CRC8ATMCode()
+    words = [code.encode(rng.getrandbits(64)) for _ in range(256)]
+
+    def decode_all():
+        for w in words:
+            code.decode(w)
+
+    benchmark(decode_all)
+
+
+def test_hamming_decode_throughput(benchmark):
+    code = HammingSECDED()
+    words = [code.encode(rng.getrandbits(64)) for _ in range(256)]
+
+    def decode_all():
+        for w in words:
+            code.decode(w)
+
+    benchmark(decode_all)
+
+
+def test_rs_chipkill_decode_with_error(benchmark):
+    rs = ReedSolomonCode.chipkill(16)
+    data = [rng.randrange(256) for _ in range(16)]
+    bad = rs.encode(data)
+    bad[7] ^= 0x5A
+
+    benchmark(lambda: rs.decode(bad))
+
+
+def test_xed_controller_clean_read(benchmark):
+    dimm = XedDimm.build(seed=1)
+    ctrl = XedController(dimm)
+    ctrl.write_line(0, 0, 0, list(range(8)))
+
+    benchmark(lambda: ctrl.read_line(0, 0, 0))
+
+
+def test_xed_controller_erasure_read(benchmark):
+    dimm = XedDimm.build(seed=2)
+    ctrl = XedController(dimm)
+    ctrl.write_line(0, 0, 0, list(range(8)))
+    dimm.inject_chip_failure(chip=3)
+
+    benchmark(lambda: ctrl.read_line(0, 0, 0))
+
+
+def test_monte_carlo_throughput(benchmark):
+    """Systems simulated per benchmark round (20K XED lifetimes)."""
+    cfg = MonteCarloConfig(num_systems=20_000, seed=3)
+    benchmark.pedantic(
+        lambda: simulate(XedScheme(), cfg), rounds=3, iterations=1
+    )

@@ -1,0 +1,21 @@
+"""Figure 1 -- reliability when on-die ECC is concealed.
+
+Paper: with on-die ECC in every chip, a 9-chip SECDED ECC-DIMM provides
+almost no benefit over an 8-chip non-ECC DIMM (large-granularity
+runtime faults dominate and SECDED cannot touch them); Chipkill is ~43x
+more reliable than the ECC-DIMM.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig1_motivation(benchmark):
+    report = run_and_print(benchmark, "fig1")
+    results = report.data["results"]
+
+    non_ecc = results["Non-ECC DIMM (On-Die ECC)"].probability_of_failure
+    ecc = results["ECC-DIMM (SECDED)"].probability_of_failure
+    assert 0.9 < ecc / non_ecc < 1.35, "the 9th chip must buy ~nothing"
+
+    ratio = report.data["chipkill_vs_eccdimm"]
+    assert 15 < ratio < 150, f"paper claims 43x, measured {ratio:.0f}x"

@@ -1,0 +1,16 @@
+"""Figure 6 -- catch-word collision probability over system lifetime.
+
+Paper: an x8 chip (64-bit catch-word) collides on average once every
+3.2 million years; an x4 chip (32-bit catch-word, Section IX-A) every
+6.6 hours; the chance the chip even stores the catch-word is 2^-37.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig6_collision_curves(benchmark):
+    report = run_and_print(benchmark, "fig6")
+    assert report.data["x8_mean_years"] == pytest.approx(3.2e6, rel=0.05)
+    assert report.data["x4_mean_hours"] == pytest.approx(6.6, rel=0.05)

@@ -1,0 +1,22 @@
+"""Figure 7 -- reliability of ECC-DIMM, XED and Chipkill.
+
+Paper: XED is 172x more reliable than the ECC-DIMM and 4x more reliable
+than Chipkill (XED operates over 9 chips per rank versus Chipkill's 18:
+C(18,2)/C(9,2) = 4.25x fewer fatal pair combinations).
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig7_xed_reliability(benchmark):
+    report = run_and_print(benchmark, "fig7")
+
+    xed_vs_ecc = report.data["xed_vs_eccdimm"]
+    assert 80 < xed_vs_ecc < 400, (
+        f"paper claims 172x over ECC-DIMM, measured {xed_vs_ecc:.0f}x"
+    )
+
+    xed_vs_ck = report.data["xed_vs_chipkill"]
+    assert 2.0 < xed_vs_ck < 8.0, (
+        f"paper claims 4x over Chipkill, measured {xed_vs_ck:.1f}x"
+    )

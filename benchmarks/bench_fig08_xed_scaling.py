@@ -1,0 +1,22 @@
+"""Figure 8 -- reliability with scaling faults at 1e-4.
+
+Paper: scaling faults change nothing for XED (on-die ECC corrects every
+single-bit weak cell; XED rebuilds anything bigger): XED remains ~172x
+better than ECC-DIMM, Chipkill ~43x.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig8_xed_with_scaling_faults(benchmark):
+    report = run_and_print(benchmark, "fig8")
+    assert 80 < report.data["xed_vs_eccdimm"] < 400
+    assert 2.0 < report.data["xed_vs_chipkill"] < 8.0
+
+    results = report.data["results"]
+    ordering = [
+        results["XED (9 chips)"].probability_of_failure,
+        results["Chipkill (18 chips)"].probability_of_failure,
+        results["ECC-DIMM (SECDED)"].probability_of_failure,
+    ]
+    assert ordering == sorted(ordering)

@@ -1,0 +1,16 @@
+"""Figure 10 -- Double-Chipkill comparison with scaling faults at 1e-4.
+
+Paper: ordering unchanged; XED+Single-Chipkill still ~8.5x better than
+Double-Chipkill (scaling faults are absorbed by on-die ECC).
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig10_double_chipkill_scaling(benchmark):
+    report = run_and_print(benchmark, "fig10")
+    results = report.data["results"]
+    single = results["Chipkill (18 chips)"].probability_of_failure
+    double = results["Double-Chipkill (36 chips)"].probability_of_failure
+    xed_ck = results["XED + Single-Chipkill (18 chips)"].probability_of_failure
+    assert xed_ck <= double < single

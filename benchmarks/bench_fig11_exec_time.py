@@ -1,0 +1,37 @@
+"""Figure 11 -- normalized execution time across the benchmark roster.
+
+Paper (gmean over the full suite, normalized to an ECC-DIMM baseline):
+Chipkill +21%, Double-Chipkill +82%, XED ~0%, XED+Chipkill +21%; worst
+cases libquantum +63.5% (Chipkill) / +220% (Double-Chipkill) and mcf
++50.7% / +180%.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, run_and_print
+from repro.perfsim.runner import normalized_metric
+
+
+def test_fig11_normalized_execution_time(benchmark):
+    report = run_and_print(benchmark, "fig11")
+    gmeans = report.data["gmeans"]
+
+    assert gmeans["xed"] == pytest.approx(1.0, abs=0.002), "XED is free"
+    assert gmeans["xed_chipkill"] == pytest.approx(
+        gmeans["chipkill"], rel=0.05
+    ), "XED+CK must track Chipkill's traffic shape"
+    assert gmeans["double_chipkill"] > gmeans["chipkill"]
+
+    if SCALE == "full":
+        # Full-roster gmean bands around the paper's +21% / +82%.
+        assert 1.10 < gmeans["chipkill"] < 1.40
+        assert 1.45 < gmeans["double_chipkill"] < 2.40
+
+        grid = report.data["grid"]
+        ck = normalized_metric(grid, "chipkill")
+        dck = normalized_metric(grid, "double_chipkill")
+        # The paper's worst cases stay the worst cases.
+        assert ck["libquantum"] > 1.35      # paper: 1.635
+        assert dck["libquantum"] > 2.0      # paper: 3.2
+        assert ck["mcf"] > 1.10             # paper: 1.507
+        assert max(ck.values()) == ck["libquantum"]

@@ -1,0 +1,25 @@
+"""Figure 12 -- normalized memory power.
+
+Paper (gmean, normalized to ECC-DIMM): Chipkill -8% (longer execution
+spreads the same energy), XED ~1.0 (identical traffic), XED+Chipkill
+~-8%, Double-Chipkill +8.4% (four activated ranks outweigh the longer
+run).
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, run_and_print
+
+
+def test_fig12_normalized_memory_power(benchmark):
+    report = run_and_print(benchmark, "fig12")
+    gmeans = report.data["gmeans"]
+
+    assert gmeans["xed"] == pytest.approx(1.0, abs=0.01)
+    assert gmeans["chipkill"] < 1.0, "Chipkill power must dip below baseline"
+    assert gmeans["double_chipkill"] > gmeans["chipkill"]
+
+    if SCALE == "full":
+        assert 0.85 < gmeans["chipkill"] < 1.00          # paper: 0.92
+        assert 0.95 < gmeans["double_chipkill"] < 1.20   # paper: 1.084
+        assert 0.85 < gmeans["xed_chipkill"] < 1.00      # paper: ~0.92

@@ -1,0 +1,32 @@
+"""Figure 13 -- exposing on-die ECC via extra bursts or transactions.
+
+Paper: both alternatives (stretching every burst 8->10 beats, or a
+second transaction per read to fetch the ECC bits) cost significantly
+more execution time and power than XED's catch-words, for both the
+Chipkill-level and Double-Chipkill-level design points.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig13_exposure_alternatives(benchmark):
+    report = run_and_print(benchmark, "fig13")
+    time_g = report.data["time"]
+    power_g = report.data["power"]
+
+    # Chipkill-level design point: XED is free; alternatives are not.
+    assert time_g["extra_burst_chipkill"] > time_g["xed"] + 0.01
+    assert time_g["extra_txn_chipkill"] > time_g["xed"] + 0.02
+    assert power_g["extra_burst_chipkill"] > power_g["xed"]
+    assert power_g["extra_txn_chipkill"] > power_g["xed"]
+
+    # Double-Chipkill-level design point.
+    assert (
+        time_g["extra_burst_double_chipkill"] > time_g["xed_chipkill"] + 0.01
+    )
+    assert (
+        time_g["extra_txn_double_chipkill"] > time_g["xed_chipkill"] + 0.02
+    )
+
+    # A full second transaction costs more than two extra beats.
+    assert time_g["extra_txn_chipkill"] > time_g["extra_burst_chipkill"]

@@ -1,0 +1,17 @@
+"""Table I -- DRAM failure rates (input data self-check).
+
+Paper: per-chip FIT rates from Sridharan & Liberty's field study, split
+by granularity and transient/permanent.  This bench prints the table
+the simulator consumes and checks the derived totals.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table1_fit_rates(benchmark):
+    report = run_and_print(benchmark, "table1")
+    assert report.data["total_fit"] == pytest.approx(66.1)
+    fit = report.data["fit"]
+    assert fit.uncorrectable_by_on_die_fit == pytest.approx(33.3)

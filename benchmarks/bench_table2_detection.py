@@ -1,0 +1,32 @@
+"""Table II -- detection rate of random and burst errors.
+
+Paper: the (72,64) CRC8-ATM code detects 100% of burst errors while the
+(72,64) Hamming code drops to ~50% on 4- and 8-bit bursts; both detect
+~99.2% of random even-weight errors and 100% of odd-weight errors.
+
+Our Hamming H-matrix differs from the (unpublished) one the paper used,
+so the exact burst numbers differ; the reproduced *claims* are (a) CRC8
+is perfect on every burst <= 8 bits, (b) Hamming is strictly weaker on
+even-length bursts, (c) random detection ~99.2% for both.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table2_detection_rates(benchmark):
+    report = run_and_print(benchmark, "table2")
+    aligned = report.data["aligned"]
+
+    crc_burst = aligned.rates["CRC8-ATM"]["burst"]
+    ham_burst = aligned.rates["Hamming"]["burst"]
+    assert all(rate == 1.0 for rate in crc_burst), "CRC8 must be perfect"
+    assert min(ham_burst) < 1.0, "Hamming must miss some bursts"
+
+    for code in ("CRC8-ATM", "Hamming"):
+        random_rates = aligned.rates[code]["random"]
+        # Odd weights (indices 0,2,4,6 = 1,3,5,7 errors): always caught.
+        for idx in (0, 2, 4, 6):
+            assert random_rates[idx] == 1.0
+        # Even weights: ~99.2% (>= 97% at sampling resolution).
+        for idx in (3, 5, 7):
+            assert random_rates[idx] > 0.97

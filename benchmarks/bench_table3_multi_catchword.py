@@ -1,0 +1,23 @@
+"""Table III -- likelihood of multiple catch-words per access.
+
+Paper: 2e-5 / 2e-7 / 2e-9 at scaling-fault rates 1e-4 / 1e-5 / 1e-6.
+Those values match the pairwise approximation (64*rate)^2 / 2; the
+bench also prints the exact >=2-of-8 binomial probability and the
+implied serial-mode interval (the paper quotes "once every 200K
+accesses" at 1e-4).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table3_multiple_catch_words(benchmark):
+    report = run_and_print(benchmark, "table3")
+    rows = report.data["rows"]
+    assert rows[1e-4]["paper_approx"] == pytest.approx(2.05e-5, rel=0.02)
+    assert rows[1e-5]["paper_approx"] == pytest.approx(2.05e-7, rel=0.02)
+    assert rows[1e-6]["paper_approx"] == pytest.approx(2.05e-9, rel=0.02)
+    # Serial mode is rare at every rate the paper considers.
+    assert rows[1e-4]["serial_mode_interval"] > 500
+    assert rows[1e-6]["serial_mode_interval"] > 1e6

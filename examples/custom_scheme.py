@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Extending the reproduction: evaluate your own protection scheme.
+
+The Monte-Carlo engine is scheme-agnostic: anything implementing
+``ProtectionScheme.evaluate`` can be dropped in.  This example defines
+two hypotheticals the paper's framework makes easy to ask about:
+
+* ``MirroredDimm`` -- full memory mirroring (2x capacity cost): fails
+  only when *mirrored pairs* of chips collide, an upper-bound
+  comparison point for XED.
+* ``XedPlusScrub`` -- XED with aggressive 1-hour scrubbing, isolating
+  how much of XED's residual failure comes from transient pairs.
+
+Run:  python examples/custom_scheme.py
+"""
+
+from typing import Optional, Sequence
+
+from repro.analysis import format_reliability_table
+from repro.faultsim import (
+    ChipkillScheme,
+    MonteCarloConfig,
+    ProtectionScheme,
+    XedScheme,
+    simulate,
+)
+from repro.faultsim.fault import ChipFault, group_by_rank
+from repro.faultsim.schemes import FailureKind, SystemFailure, earliest_failure
+
+
+class MirroredDimm(ProtectionScheme):
+    """Two mirrored 9-chip DIMMs: any fault correctable unless the same
+    access is damaged in both mirrors simultaneously."""
+
+    name = "Mirrored ECC-DIMM (18 chips, 2x capacity)"
+    data_chips = 8
+    check_chips = 1
+    min_faults = 2
+
+    def evaluate(
+        self, faults: Sequence[ChipFault], rng
+    ) -> Optional[SystemFailure]:
+        # Model: odd/even ranks are mirror pairs; failure requires
+        # colliding visible faults in *both* mirrors of a pair.
+        visible = self.visible(faults)
+        failure = None
+        mirrors = {}
+        for fault in visible:
+            mirrors.setdefault((fault.channel, fault.rank // 1), []).append(fault)
+        by_pair = {}
+        for fault in visible:
+            by_pair.setdefault((fault.channel,), []).append(fault)
+        for group in by_pair.values():
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    a, b = group[i], group[j]
+                    if (
+                        a.rank != b.rank  # different mirrors
+                        and a.overlaps_in_time(b)
+                        and a.addr.intersects(b.addr)
+                    ):
+                        failure = earliest_failure(
+                            failure,
+                            SystemFailure(
+                                max(a.time_hours, b.time_hours),
+                                FailureKind.DUE,
+                            ),
+                        )
+        return failure
+
+
+def main() -> None:
+    base_cfg = MonteCarloConfig(num_systems=300_000, seed=77)
+    scrub_cfg = MonteCarloConfig(num_systems=300_000, seed=77, scrub_hours=1.0)
+
+    results = [
+        simulate(XedScheme(), base_cfg),
+        simulate(ChipkillScheme(), base_cfg),
+        simulate(MirroredDimm(), base_cfg),
+    ]
+    xed_scrubbed = simulate(XedScheme(), scrub_cfg)
+    xed_scrubbed = type(xed_scrubbed)(
+        scheme_name="XED + hourly scrubbing",
+        num_systems=xed_scrubbed.num_systems,
+        years=xed_scrubbed.years,
+        failure_times_hours=xed_scrubbed.failure_times_hours,
+        kinds=xed_scrubbed.kinds,
+    )
+    results.append(xed_scrubbed)
+
+    print(
+        format_reliability_table(
+            "Custom-scheme study (300K systems, 7 years):", results
+        )
+    )
+    print(
+        "\nTakeaway: mirroring's pair criterion is cross-DIMM so its "
+        "exposure differs structurally;\nscrubbing trims XED's transient "
+        "pair tail without touching the permanent-pair floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Patrol scrubbing: healing transient damage before it can pair up.
+
+Demonstrates the behavioural scrubber walking a region of an XED DIMM:
+a transient row failure is corrected and *healed* (gone on the next
+pass), a permanent row failure is corrected on every pass (the chip is
+broken; parity keeps rebuilding it), and the Monte-Carlo engine shows
+the system-level payoff of bounding transient lifetimes.
+
+Run:  python examples/patrol_scrubbing.py
+"""
+
+from repro.core import PatrolScrubber, XedController
+from repro.dram import XedDimm
+from repro.dram.chip import FaultGranularity
+from repro.faultsim import MonteCarloConfig, XedScheme, simulate
+
+
+def behavioural_demo() -> None:
+    print("== behavioural patrol over one bank region")
+    dimm = XedDimm.build(seed=5)
+    ctrl = XedController(dimm, seed=6)
+    scrubber = PatrolScrubber(ctrl, banks=1, rows=8, columns=32)
+
+    for row in range(8):
+        for col in range(32):
+            ctrl.write_line(0, row, col, [(row << 8) + col + i for i in range(8)])
+
+    dimm.inject_chip_failure(
+        chip=3, granularity=FaultGranularity.ROW, permanent=False,
+        bank=0, row=2,
+    )
+    dimm.inject_chip_failure(
+        chip=6, granularity=FaultGranularity.ROW, permanent=True,
+        bank=0, row=5,
+    )
+
+    first = scrubber.scrub_region()
+    second = scrubber.scrub_region()
+    print(f"   pass 1: {first.format_summary()}")
+    print(f"   pass 2: {second.format_summary()}")
+    print("   (transient row healed by pass 1; permanent row corrected "
+          "again on pass 2)")
+    assert second.corrected < first.corrected
+
+
+def reliability_demo() -> None:
+    print("\n== system-level effect of the scrub interval (Monte-Carlo)")
+    for scrub_hours in (None, 7 * 24.0, 24.0, 1.0):
+        cfg = MonteCarloConfig(
+            num_systems=300_000, seed=21, scrub_hours=scrub_hours
+        )
+        result = simulate(XedScheme(), cfg)
+        label = "none" if scrub_hours is None else f"{scrub_hours:g} h"
+        print(f"   scrub interval {label:>8}: "
+              f"P(fail,7y) = {result.probability_of_failure:.2e} "
+              f"({result.failures} failures)")
+
+
+def main() -> None:
+    behavioural_demo()
+    reliability_demo()
+
+
+if __name__ == "__main__":
+    main()

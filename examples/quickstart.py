@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: XED surviving a chip failure on a commodity ECC-DIMM.
+
+Builds the behavioural 9-chip XED DIMM (8 data chips + 1 RAID-3 parity
+chip, every chip carrying its own concealed CRC8-ATM on-die ECC), kills
+an entire chip at runtime, and shows the controller reconstructing the
+data through the catch-word + parity path -- the core mechanism of the
+paper (Sections IV-V).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ReadStatus, XedController
+from repro.dram import XedDimm
+from repro.dram.chip import FaultGranularity
+
+
+def main() -> None:
+    # 1. Build the DIMM and controller.  At boot the controller programs
+    #    a random catch-word and sets XED-Enable in every chip over MRS.
+    dimm = XedDimm.build(seed=42)
+    ctrl = XedController(dimm, seed=7)
+    print("catch-words provisioned per chip:")
+    for i, cw in enumerate(ctrl.catch_words):
+        print(f"  chip {i}: {cw:#018x}")
+
+    # 2. Write a cache line: 8 x 64-bit words; the 9th chip stores their XOR.
+    line = [0x1111_1111_1111_1100 + i for i in range(8)]
+    ctrl.write_line(bank=0, row=100, column=5, words=line)
+
+    result = ctrl.read_line(0, 100, 5)
+    print(f"\nclean read: status={result.status.value}, ok={result.ok}")
+    assert result.status is ReadStatus.CLEAN and result.words == line
+
+    # 3. Kill chip 3 entirely (a runtime chip failure: every word it
+    #    returns is multi-bit garbage that its on-die ECC detects).
+    dimm.inject_chip_failure(chip=3, granularity=FaultGranularity.CHIP)
+    result = ctrl.read_line(0, 100, 5)
+    print(
+        f"after chip-3 failure: status={result.status.value}, "
+        f"catch-words from chips {result.catch_word_chips}, "
+        f"reconstructed chip {result.reconstructed_chip}"
+    )
+    assert result.status is ReadStatus.CORRECTED_ERASURE
+    assert result.words == line, "XED must return the original data"
+    print("data recovered correctly:", result.data[:16].hex())
+
+    # 4. Every subsequent read of that chip keeps working the same way.
+    ctrl.write_line(0, 200, 17, [w ^ 0xFF for w in line])
+    again = ctrl.read_line(0, 200, 17)
+    assert again.ok and again.words == [w ^ 0xFF for w in line]
+
+    print("\ncontroller statistics:")
+    for key, value in ctrl.stats.items():
+        print(f"  {key:22s} {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: a full reproduction of XED (ISCA 2016).
+
+XED ("eXposed on-die Error Detection", Nair, Sridharan & Qureshi, ISCA
+2016) lets DRAM chips with concealed on-die ECC signal *that* they
+detected an error -- by transmitting a pre-agreed catch-word instead of
+data -- so a commodity 9-chip ECC-DIMM whose 9th chip stores RAID-3
+parity can deliver Chipkill-level reliability with none of Chipkill's
+two-rank activation overheads.
+
+The package is organised exactly like the paper's system stack:
+
+* :mod:`repro.ecc` -- every code involved: (72,64) Hamming SECDED,
+  (72,64) CRC8-ATM, Reed-Solomon symbol codes for Chipkill and
+  Double-Chipkill, plus the Table-II detection-rate analysis.
+* :mod:`repro.dram` -- DRAM geometry, chips with embedded on-die ECC and
+  XED mode registers, and DIMM organisations (8/9/18/36 chips).
+* :mod:`repro.core` -- the XED mechanism itself: catch-words, the
+  DC-Mux, RAID-3 parity, the controller-side erasure correction, and the
+  inter-/intra-line fault diagnosis with the Faulty-row Chip Tracker.
+* :mod:`repro.faultsim` -- a FaultSim-style Monte-Carlo fault/repair
+  simulator with the paper's Table-I field failure rates, scaling-fault
+  support, per-scheme evaluators and the analytical models behind
+  Figures 6-10 and Tables III-IV.
+* :mod:`repro.perfsim` -- a USIMM-style cycle-level DDR3 memory-system
+  simulator (FR-FCFS scheduling, JEDEC timing, Micron-style power) that
+  regenerates the performance/power results of Figures 11-14.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

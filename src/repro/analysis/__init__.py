@@ -1,0 +1,23 @@
+"""Experiment registry and result formatting for the paper's evaluation.
+
+Every table and figure of the paper has a registered experiment in
+:mod:`repro.analysis.experiments`; the pytest benchmarks in
+``benchmarks/`` are thin wrappers that run these and print the rows.
+"""
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentReport,
+    reproduce_all,
+    run_experiment,
+)
+from repro.analysis.formatting import format_reliability_table, format_series
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "reproduce_all",
+    "run_experiment",
+    "format_reliability_table",
+    "format_series",
+]

@@ -1,0 +1,48 @@
+"""Plain-text renderers for reliability results (terminal-friendly)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.faultsim.simulator import ReliabilityResult
+
+
+def format_series(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str = "year",
+) -> str:
+    """Render {name: [(x, y), ...]} curves as an aligned table."""
+    names = list(series)
+    if not names:
+        raise ValueError("no series to format")
+    xs = [x for x, _ in series[names[0]]]
+    lines = [title]
+    head = f"{x_label:>6} | " + " | ".join(f"{n[:24]:>24}" for n in names)
+    lines.append(head)
+    for i, x in enumerate(xs):
+        cells = " | ".join(f"{series[n][i][1]:24.3e}" for n in names)
+        lines.append(f"{x:6g} | {cells}")
+    return "\n".join(lines)
+
+
+def format_reliability_table(
+    title: str,
+    results: Iterable[ReliabilityResult],
+    baseline_name: str | None = None,
+) -> str:
+    """Summaries plus improvement ratios relative to a baseline."""
+    results = list(results)
+    lines = [title]
+    baseline = None
+    if baseline_name is not None:
+        baseline = next(
+            (r for r in results if r.scheme_name == baseline_name), None
+        )
+    for result in results:
+        line = "  " + result.format_summary()
+        if baseline is not None and result is not baseline:
+            ratio = result.improvement_over(baseline)
+            line += f"  ({ratio:.1f}x vs {baseline.scheme_name})"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,294 @@
+"""Dependency-free SVG charts for the regenerated figures.
+
+The reproduction environment has no plotting stack, so this module
+renders the paper's figure shapes -- log-scale failure-probability
+curves (Figures 1, 7-10) and normalized bar charts (Figures 11-14) --
+as standalone SVG files using only the standard library.  The output is
+deliberately simple: enough to eyeball the reproduced shape against the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A colour cycle that survives greyscale printing.
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+@dataclass
+class Canvas:
+    """Minimal SVG canvas with margins and a coordinate mapper."""
+
+    width: int = 640
+    height: int = 400
+    margin_left: int = 70
+    margin_right: int = 20
+    margin_top: int = 36
+    margin_bottom: int = 60
+    elements: List[str] = field(default_factory=list)
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def x_pixel(self, fraction: float) -> float:
+        return self.margin_left + fraction * self.plot_width
+
+    def y_pixel(self, fraction: float) -> float:
+        return self.margin_top + (1.0 - fraction) * self.plot_height
+
+    def add(self, element: str) -> None:
+        self.elements.append(element)
+
+    def text(
+        self, x: float, y: float, content: str,
+        size: int = 12, anchor: str = "middle", rotate: Optional[float] = None,
+    ) -> None:
+        transform = (
+            f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        )
+        self.add(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" font-family="sans-serif"{transform}>'
+            f"{_escape(content)}</text>"
+        )
+
+    def line(self, x1, y1, x2, y2, color="#999", width=1.0, dash="") -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.add(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def render(self, title: str) -> str:
+        self.text(self.width / 2, 20, title, size=14)
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    start = math.floor(math.log10(lo))
+    stop = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(start, stop + 1)]
+
+
+def line_chart_svg(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str,
+    x_label: str = "Years",
+    y_label: str = "Probability of System Failure",
+    log_y: bool = True,
+) -> str:
+    """Render (x, y) series as an SVG line chart (Figure 1/7-10 style).
+
+    Zero/negative y values are dropped in log mode (they have no finite
+    position; a Monte-Carlo curve that has not left zero yet simply
+    starts later).
+    """
+    cleaned = {
+        name: [(x, y) for x, y in points if (y > 0 or not log_y)]
+        for name, points in series.items()
+    }
+    cleaned = {name: pts for name, pts in cleaned.items() if pts}
+    if not cleaned:
+        raise ValueError("nothing to plot")
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = Canvas()
+
+    def fx(x: float) -> float:
+        return canvas.x_pixel((x - x_lo) / (x_hi - x_lo))
+
+    if log_y:
+        ticks = _log_ticks(y_lo, y_hi)
+        ly_lo, ly_hi = math.log10(ticks[0]), math.log10(ticks[-1])
+
+        def fy(y: float) -> float:
+            return canvas.y_pixel(
+                (math.log10(y) - ly_lo) / max(1e-12, ly_hi - ly_lo)
+            )
+
+        for tick in ticks:
+            y_px = fy(tick)
+            canvas.line(canvas.margin_left, y_px,
+                        canvas.width - canvas.margin_right, y_px,
+                        color="#ddd")
+            canvas.text(canvas.margin_left - 6, y_px + 4,
+                        f"1e{int(math.log10(tick))}", size=10, anchor="end")
+    else:
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+
+        def fy(y: float) -> float:
+            return canvas.y_pixel((y - y_lo) / (y_hi - y_lo))
+
+        for i in range(5):
+            value = y_lo + (y_hi - y_lo) * i / 4
+            y_px = fy(value)
+            canvas.line(canvas.margin_left, y_px,
+                        canvas.width - canvas.margin_right, y_px,
+                        color="#ddd")
+            canvas.text(canvas.margin_left - 6, y_px + 4, f"{value:.3g}",
+                        size=10, anchor="end")
+
+    for x in range(int(x_lo), int(x_hi) + 1):
+        canvas.text(fx(x), canvas.height - canvas.margin_bottom + 16,
+                    str(x), size=10)
+
+    for idx, (name, points) in enumerate(cleaned.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'} {fx(x):.1f} {fy(y):.1f}"
+            for i, (x, y) in enumerate(points)
+        )
+        canvas.add(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        legend_y = canvas.margin_top + 16 * idx + 8
+        legend_x = canvas.margin_left + 10
+        canvas.line(legend_x, legend_y, legend_x + 18, legend_y,
+                    color=color, width=2.5)
+        canvas.text(legend_x + 24, legend_y + 4, name, size=10, anchor="start")
+
+    canvas.text(canvas.width / 2, canvas.height - 16, x_label, size=12)
+    canvas.text(16, canvas.height / 2, y_label, size=12, rotate=-90.0)
+    return canvas.render(title)
+
+
+def bar_chart_svg(
+    groups: Dict[str, Dict[str, float]],
+    title: str,
+    y_label: str = "Normalized Execution Time",
+    baseline: float = 1.0,
+) -> str:
+    """Render grouped bars (Figure 11/12 style): {category: {series: v}}."""
+    if not groups:
+        raise ValueError("nothing to plot")
+    series_names: List[str] = []
+    for row in groups.values():
+        for name in row:
+            if name not in series_names:
+                series_names.append(name)
+    values = [v for row in groups.values() for v in row.values()]
+    y_hi = max(values + [baseline]) * 1.1
+    y_lo = 0.0
+
+    canvas = Canvas(width=max(640, 40 + 26 * len(groups) * len(series_names)))
+
+    def fy(value: float) -> float:
+        return canvas.y_pixel((value - y_lo) / (y_hi - y_lo))
+
+    for i in range(6):
+        value = y_lo + (y_hi - y_lo) * i / 5
+        y_px = fy(value)
+        canvas.line(canvas.margin_left, y_px,
+                    canvas.width - canvas.margin_right, y_px, color="#ddd")
+        canvas.text(canvas.margin_left - 6, y_px + 4, f"{value:.2f}",
+                    size=10, anchor="end")
+
+    group_width = canvas.plot_width / len(groups)
+    bar_width = group_width * 0.8 / max(1, len(series_names))
+    for g_idx, (category, row) in enumerate(groups.items()):
+        base_x = canvas.margin_left + g_idx * group_width + group_width * 0.1
+        for s_idx, name in enumerate(series_names):
+            if name not in row:
+                continue
+            value = row[name]
+            x = base_x + s_idx * bar_width
+            top = fy(value)
+            bottom = fy(0.0)
+            canvas.add(
+                f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_width:.1f}" '
+                f'height="{max(0.0, bottom - top):.1f}" '
+                f'fill="{PALETTE[s_idx % len(PALETTE)]}"/>'
+            )
+        canvas.text(
+            base_x + group_width * 0.4,
+            canvas.height - canvas.margin_bottom + 14,
+            category[:12], size=9, rotate=30.0, anchor="start",
+        )
+
+    baseline_y = fy(baseline)
+    canvas.line(canvas.margin_left, baseline_y,
+                canvas.width - canvas.margin_right, baseline_y,
+                color="#333", width=1.0, dash="4,3")
+
+    for s_idx, name in enumerate(series_names):
+        legend_y = canvas.margin_top + 14 * s_idx + 6
+        legend_x = canvas.margin_left + 10
+        canvas.add(
+            f'<rect x="{legend_x}" y="{legend_y - 8}" width="12" height="10" '
+            f'fill="{PALETTE[s_idx % len(PALETTE)]}"/>'
+        )
+        canvas.text(legend_x + 18, legend_y, name, size=10, anchor="start")
+
+    canvas.text(16, canvas.height / 2, y_label, size=12, rotate=-90.0)
+    return canvas.render(title)
+
+
+def plot_reliability_figure(report, path: str | Path) -> Path:
+    """Write the line-chart SVG for a fig1/fig7-10 experiment report."""
+    results = report.data.get("results")
+    if not results:
+        raise ValueError(f"{report.experiment_id} has no reliability curves")
+    series = {name: result.curve() for name, result in results.items()}
+    svg = line_chart_svg(
+        series, f"{report.experiment_id}: {report.title}"
+    )
+    out = Path(path)
+    out.write_text(svg)
+    return out
+
+
+def plot_performance_figure(
+    report, path: str | Path, metric: str = "time"
+) -> Path:
+    """Write the bar-chart SVG for a fig11/fig12 experiment report."""
+    from repro.perfsim.runner import normalized_metric
+
+    grid = report.data.get("grid")
+    if not grid:
+        raise ValueError(f"{report.experiment_id} has no performance grid")
+    scheme_keys = [
+        key for key in next(iter(grid.values())) if key != "ecc_dimm"
+    ]
+    groups: Dict[str, Dict[str, float]] = {name: {} for name in grid}
+    for key in scheme_keys:
+        per_workload = normalized_metric(grid, key, metric=metric)
+        for name, value in per_workload.items():
+            groups[name][key] = value
+    label = (
+        "Normalized Execution Time" if metric == "time"
+        else "Normalized Memory Power"
+    )
+    svg = bar_chart_svg(
+        groups, f"{report.experiment_id}: {report.title}", y_label=label
+    )
+    out = Path(path)
+    out.write_text(svg)
+    return out

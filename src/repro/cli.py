@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Sub-commands mirror the library's layers:
+
+* ``repro list`` -- the registered paper experiments.
+* ``repro experiment fig7 --scale quick`` -- regenerate one table/figure.
+* ``repro reliability --schemes xed chipkill --systems 200000`` --
+  ad-hoc Monte-Carlo comparisons.
+* ``repro perf --workloads libquantum mcf --schemes ecc_dimm chipkill``
+  -- ad-hoc performance/power grids.
+* ``repro collision --bits 32`` -- catch-word collision analytics.
+* ``repro campaign --kind xed --trials 40 --chips 1`` -- behavioural
+  fault-injection campaigns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.version import __version__
+
+#: Monte-Carlo scheme registry for the reliability sub-command.
+RELIABILITY_SCHEMES = {
+    "non_ecc": "NonEccScheme",
+    "ecc_dimm": "EccDimmScheme",
+    "xed": "XedScheme",
+    "chipkill": "ChipkillScheme",
+    "xed_chipkill": "XedChipkillScheme",
+    "double_chipkill": "DoubleChipkillScheme",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XED (ISCA 2016) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered paper experiments")
+
+    exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    exp.add_argument("experiment_id", help="e.g. fig7, table2")
+    exp.add_argument("--scale", choices=("quick", "full"), default="quick")
+    exp.add_argument("--seed", type=int, default=2016)
+
+    rel = sub.add_parser("reliability", help="Monte-Carlo scheme comparison")
+    rel.add_argument(
+        "--schemes", nargs="+", default=["ecc_dimm", "xed", "chipkill"],
+        choices=sorted(RELIABILITY_SCHEMES),
+    )
+    rel.add_argument("--systems", type=int, default=200_000)
+    rel.add_argument("--years", type=float, default=7.0)
+    rel.add_argument("--scaling-rate", type=float, default=0.0)
+    rel.add_argument("--scrub-hours", type=float, default=None)
+    rel.add_argument("--seed", type=int, default=2016)
+
+    perf = sub.add_parser("perf", help="performance/power grid")
+    perf.add_argument("--workloads", nargs="+", default=["libquantum", "mcf"])
+    perf.add_argument(
+        "--schemes", nargs="+",
+        default=["ecc_dimm", "xed", "chipkill", "double_chipkill"],
+    )
+    perf.add_argument("--instructions", type=int, default=50_000)
+    perf.add_argument("--seed", type=int, default=2016)
+    perf.add_argument(
+        "--metric", choices=("time", "power", "both"), default="both"
+    )
+
+    col = sub.add_parser("collision", help="catch-word collision analytics")
+    col.add_argument("--bits", type=int, default=64)
+    col.add_argument("--write-interval", type=float, default=5.53e-6,
+                     help="seconds between novel writes per chip")
+
+    all_cmd = sub.add_parser(
+        "all", help="regenerate every table/figure, optionally exporting"
+    )
+    all_cmd.add_argument("--scale", choices=("quick", "full"), default="quick")
+    all_cmd.add_argument("--seed", type=int, default=2016)
+    all_cmd.add_argument("--out", default=None,
+                         help="also export text+CSV into this directory")
+    all_cmd.add_argument("--svg", action="store_true",
+                         help="also render SVG charts where applicable")
+
+    exp_out = sub.add_parser(
+        "export", help="regenerate an experiment and write text + CSVs"
+    )
+    exp_out.add_argument("experiment_id")
+    exp_out.add_argument("--scale", choices=("quick", "full"), default="quick")
+    exp_out.add_argument("--seed", type=int, default=2016)
+    exp_out.add_argument("--out", default="results")
+    exp_out.add_argument("--svg", action="store_true",
+                         help="also render an SVG chart where applicable")
+
+    camp = sub.add_parser("campaign", help="behavioural fault campaign")
+    camp.add_argument("--kind", choices=("xed", "chipkill"), default="xed")
+    camp.add_argument("--trials", type=int, default=30)
+    camp.add_argument("--chips", type=int, default=1,
+                      help="simultaneously faulty chips per trial")
+    camp.add_argument("--scaling-rate", type=float, default=0.0)
+    camp.add_argument("--seed", type=int, default=2016)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.analysis import EXPERIMENTS
+
+    print(f"{'id':8s} {'title':45s} paper claim")
+    for exp_id in sorted(EXPERIMENTS):
+        meta = EXPERIMENTS[exp_id]
+        print(f"{exp_id:8s} {meta.title[:45]:45s} {meta.paper_claim}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import run_experiment
+
+    try:
+        report = run_experiment(args.experiment_id, scale=args.scale,
+                                seed=args.seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(report.text)
+    return 0
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    from repro import faultsim
+    from repro.analysis import format_reliability_table
+
+    config = faultsim.MonteCarloConfig(
+        num_systems=args.systems,
+        years=args.years,
+        seed=args.seed,
+        scaling_rate=args.scaling_rate,
+        scrub_hours=args.scrub_hours,
+    )
+    results = []
+    for key in args.schemes:
+        scheme = getattr(faultsim, RELIABILITY_SCHEMES[key])()
+        results.append(faultsim.simulate(scheme, config))
+    baseline = results[0].scheme_name if len(results) > 1 else None
+    print(
+        format_reliability_table(
+            f"{args.systems:,} systems, {args.years:g} years, "
+            f"scaling rate {args.scaling_rate:g}:",
+            results,
+            baseline_name=baseline,
+        )
+    )
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perfsim.runner import format_figure_table, run_suite
+    from repro.perfsim.workloads import workload_by_name
+
+    workloads = [workload_by_name(name) for name in args.workloads]
+    schemes = list(args.schemes)
+    if "ecc_dimm" not in schemes:
+        schemes.insert(0, "ecc_dimm")
+    grid = run_suite(
+        schemes, workloads,
+        instructions_per_core=args.instructions, seed=args.seed,
+    )
+    keys = [k for k in schemes if k != "ecc_dimm"]
+    if args.metric in ("time", "both"):
+        print(format_figure_table(grid, keys, metric="time",
+                                  title="Normalized Execution Time"))
+    if args.metric in ("power", "both"):
+        print(format_figure_table(grid, keys, metric="power",
+                                  title="Normalized Memory Power"))
+    return 0
+
+
+def _cmd_collision(args: argparse.Namespace) -> int:
+    from repro.core.catch_word import CollisionModel
+
+    model = CollisionModel(
+        catch_word_bits=args.bits, write_interval_s=args.write_interval
+    )
+    years = model.mean_years_to_collision()
+    print(f"catch-word width: {args.bits} bits")
+    print(f"mean time to collision: {years:.4g} years "
+          f"({years * 365.25 * 24:.4g} hours)")
+    for lifetime, prob in model.probability_curve():
+        print(f"  P(collision within {lifetime:>12,.4g} years) = {prob:.3e}")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.analysis import reproduce_all
+    from repro.analysis.export import export_report
+
+    reports = reproduce_all(scale=args.scale, seed=args.seed)
+    for report in reports.values():
+        print(report.text)
+        print()
+        if args.out:
+            export_report(report, args.out, svg=args.svg)
+    if args.out:
+        print(f"exported {len(reports)} experiments to {args.out}/")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis import run_experiment
+    from repro.analysis.export import export_report
+
+    try:
+        report = run_experiment(args.experiment_id, scale=args.scale,
+                                seed=args.seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    for path in export_report(report, args.out, svg=args.svg):
+        print(path)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.faultsim import campaign
+
+    if args.kind == "xed":
+        result = campaign.run_xed_campaign(
+            trials=args.trials,
+            faulty_chips=args.chips,
+            seed=args.seed,
+            scaling_ber=args.scaling_rate,
+        )
+    else:
+        result = campaign.run_chipkill_campaign(
+            trials=args.trials, faulty_chips=args.chips, seed=args.seed
+        )
+    print(result.format_summary())
+    return 0 if result.sdc_count == 0 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "reliability":
+        return _cmd_reliability(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
+    if args.command == "collision":
+        return _cmd_collision(args)
+    if args.command == "all":
+        return _cmd_all(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

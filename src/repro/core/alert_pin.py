@@ -1,0 +1,165 @@
+"""ALERT_n-based error exposure: the Section XI-C what-if.
+
+DDR4 provides an ALERT_n pin through which a DIMM can flag
+address/command/CRC errors.  The paper observes that today's single
+shared pin can say *that* some chip failed but not *which*, so it
+cannot replace catch-words -- but a future standard extending ALERT_n
+with the faulty chip's identity could implement XED without touching
+the data path at all (no catch-words, hence no collisions and no
+catch-word rotation machinery).
+
+This module models that hypothetical: chips report detection events on
+a side-band with a configurable identity width.
+
+* ``ident_bits=0`` -- today's DDR4: one shared line.  The controller
+  learns "some chip erred"; with the 9th-chip parity it can *detect*
+  but must fall back to diagnosis to locate, exactly like the
+  on-die-miss path of catch-word XED.
+* ``ident_bits>=4`` -- the extended pin: the event carries the chip id
+  and the controller performs the same RAID-3 erasure correction as
+  catch-word XED, minus the collision bookkeeping.
+
+The comparison lets the test suite state Section XI-C's conclusion
+quantitatively: extended-ALERT_n XED and catch-word XED are
+functionally equivalent; unextended ALERT_n is strictly weaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.diagnosis import inter_line_diagnosis, intra_line_diagnosis
+from repro.core.parity import parity_residue, reconstruct_line
+from repro.core.types import ReadStatus, XedReadResult
+from repro.dram.dimm import XedDimm
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One side-band error report accompanying a read."""
+
+    asserted: bool
+    #: Chip identity carried by the extended pin; -1 when the standard
+    #: provides no identity bits (today's shared ALERT_n).
+    chip: int = -1
+
+
+class AlertPinXedController:
+    """XED over a side-band alert instead of catch-words.
+
+    Drives the same :class:`XedDimm` (9th chip holds RAID-3 parity) but
+    reads chips with XED-Enable *off* -- data always flows -- and takes
+    error locations from the alert side-band.
+    """
+
+    def __init__(self, dimm: XedDimm, ident_bits: int = 4) -> None:
+        if ident_bits not in (0, 4):
+            raise ValueError("model supports ident_bits of 0 or 4")
+        self.dimm = dimm
+        self.ident_bits = ident_bits
+        for chip in dimm.chips:
+            chip.regs.set_xed_enable(False)  # data path untouched
+        self.stats: Dict[str, int] = {
+            "reads": 0,
+            "writes": 0,
+            "alerts": 0,
+            "erasure_corrections": 0,
+            "diagnoses": 0,
+            "dues": 0,
+        }
+
+    def write_line(self, bank: int, row: int, column: int, words) -> None:
+        self.stats["writes"] += 1
+        self.dimm.write_line(bank, row, column, list(words))
+
+    def _read_with_alerts(
+        self, bank: int, row: int, column: int
+    ) -> tuple[List[int], List[AlertEvent]]:
+        transfers: List[int] = []
+        events: List[AlertEvent] = []
+        for idx, chip in enumerate(self.dimm.chips):
+            obs = chip.read_observed(bank, row, column)
+            transfers.append(obs.value)
+            detected = obs.on_die_outcome.value != "clean"
+            events.append(
+                AlertEvent(
+                    asserted=detected,
+                    chip=idx if (detected and self.ident_bits > 0) else -1,
+                )
+            )
+        return transfers, events
+
+    def read_line(self, bank: int, row: int, column: int) -> XedReadResult:
+        self.stats["reads"] += 1
+        transfers, events = self._read_with_alerts(bank, row, column)
+        flagged = [e.chip for e in events if e.asserted and e.chip >= 0]
+        any_alert = any(e.asserted for e in events)
+        if any_alert:
+            self.stats["alerts"] += 1
+        residue = parity_residue(transfers)
+
+        if residue == 0:
+            # On-die ECC corrected whatever it saw (alert or not): with
+            # the data path carrying corrected values, consistent parity
+            # means a good line.
+            return XedReadResult(ReadStatus.CLEAN, transfers[:-1])
+
+        if len(flagged) == 1:
+            fixed = reconstruct_line(transfers, flagged[0])
+            self.stats["erasure_corrections"] += 1
+            return XedReadResult(
+                ReadStatus.CORRECTED_ERASURE,
+                fixed[:-1],
+                reconstructed_chip=flagged[0],
+            )
+
+        # No identity (plain DDR4 pin), ambiguous identities, or an
+        # undetected error: locate by diagnosis, as catch-word XED does
+        # for its on-die-miss tail.
+        self.stats["diagnoses"] += 1
+        probe_words = self._begin_probe()
+        try:
+            inter = inter_line_diagnosis(self.dimm, probe_words, bank, row)
+        finally:
+            self._finish_probe()
+        if inter.identified and not inter.ambiguous:
+            fixed = reconstruct_line(transfers, inter.faulty_chip)
+            self.stats["erasure_corrections"] += 1
+            return XedReadResult(
+                ReadStatus.CORRECTED_DIAGNOSED,
+                fixed[:-1],
+                reconstructed_chip=inter.faulty_chip,
+                diagnosis_used="inter",
+            )
+        intra = intra_line_diagnosis(self.dimm, bank, row, column)
+        if intra.identified and not intra.ambiguous:
+            fixed = reconstruct_line(transfers, intra.faulty_chip)
+            self.stats["erasure_corrections"] += 1
+            return XedReadResult(
+                ReadStatus.CORRECTED_DIAGNOSED,
+                fixed[:-1],
+                reconstructed_chip=intra.faulty_chip,
+                diagnosis_used="intra",
+            )
+        self.stats["dues"] += 1
+        return XedReadResult(ReadStatus.DUE, transfers[:-1])
+
+    def _begin_probe(self) -> List[int]:
+        """Arm the chips so the row stream exposes per-line detections.
+
+        Inter-line diagnosis counts per-chip catch-word matches; on the
+        alert datapath the equivalent evidence is one alert pulse per
+        faulty line.  The probe emulates that by temporarily enabling
+        the DC-Mux (catch-words stand in for per-line alert pulses) --
+        the side-band and the mux expose exactly the same detection
+        events, so the counts are identical.
+        """
+        for chip in self.dimm.chips:
+            chip.regs.set_xed_enable(True)
+        return [chip.regs.catch_word for chip in self.dimm.chips]
+
+    def _finish_probe(self) -> None:
+        """Restore the alert-mode datapath after a diagnosis probe."""
+        for chip in self.dimm.chips:
+            chip.regs.set_xed_enable(False)

@@ -1,0 +1,117 @@
+"""Patrol scrubbing on top of the XED controller.
+
+Scrubbing -- periodically reading, correcting and rewriting every line
+-- bounds the lifetime of transient faults, which is what shrinks the
+pair-failure window the Monte-Carlo engine models with
+``scrub_hours``.  This module provides the behavioural counterpart: a
+patrol scrubber that walks rows through an :class:`XedController`,
+heals transient damage via read-correct-rewrite, and escalates
+diagnosis results it encounters (feeding the FCT as a side effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.controller import XedController
+from repro.core.types import ReadStatus
+
+
+@dataclass
+class ScrubReport:
+    """Outcome counts of one patrol pass."""
+
+    lines_scrubbed: int = 0
+    clean: int = 0
+    corrected: int = 0
+    uncorrectable: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, status: ReadStatus) -> None:
+        self.lines_scrubbed += 1
+        self.by_status[status.value] = self.by_status.get(status.value, 0) + 1
+        if status is ReadStatus.CLEAN:
+            self.clean += 1
+        elif status is ReadStatus.DUE:
+            self.uncorrectable += 1
+        else:
+            self.corrected += 1
+
+    def format_summary(self) -> str:
+        return (
+            f"scrubbed {self.lines_scrubbed} lines: {self.clean} clean, "
+            f"{self.corrected} corrected, {self.uncorrectable} uncorrectable"
+        )
+
+
+class PatrolScrubber:
+    """Walks the DIMM address space in row order, scrubbing each line.
+
+    Parameters
+    ----------
+    controller:
+        The XED controller whose :meth:`scrub_line` does the
+        read-correct-rewrite.
+    banks, rows, columns:
+        Region to patrol; defaults to the controller's chip geometry.
+    """
+
+    def __init__(
+        self,
+        controller: XedController,
+        banks: Optional[int] = None,
+        rows: Optional[int] = None,
+        columns: Optional[int] = None,
+    ) -> None:
+        geometry = controller.dimm.geometry
+        self.controller = controller
+        self.banks = banks if banks is not None else geometry.banks
+        self.rows = rows if rows is not None else geometry.rows_per_bank
+        self.columns = (
+            columns if columns is not None else geometry.columns_per_row
+        )
+        self._cursor: Tuple[int, int] = (0, 0)  # (bank, row)
+
+    def addresses(self) -> Iterator[Tuple[int, int, int]]:
+        for bank in range(self.banks):
+            for row in range(self.rows):
+                for column in range(self.columns):
+                    yield bank, row, column
+
+    def scrub_region(
+        self,
+        banks: Iterator[int] | None = None,
+        rows: Iterator[int] | None = None,
+    ) -> ScrubReport:
+        """Scrub a sub-region (all rows of all banks by default)."""
+        report = ScrubReport()
+        for bank in banks if banks is not None else range(self.banks):
+            for row in rows if rows is not None else range(self.rows):
+                self._scrub_row(bank, row, report)
+        return report
+
+    def _scrub_row(self, bank: int, row: int, report: ScrubReport) -> None:
+        for column in range(self.columns):
+            result = self.controller.scrub_line(bank, row, column)
+            report.record(result.status)
+
+    def step(self) -> ScrubReport:
+        """Scrub the next row in patrol order (one scrub interval tick).
+
+        Real controllers spread a full patrol over the scrub interval;
+        each ``step`` advances one row and wraps around the region.
+        """
+        bank, row = self._cursor
+        report = ScrubReport()
+        self._scrub_row(bank, row, report)
+        row += 1
+        if row >= self.rows:
+            row = 0
+            bank = (bank + 1) % self.banks
+        self._cursor = (bank, row)
+        return report
+
+    @property
+    def rows_per_full_patrol(self) -> int:
+        return self.banks * self.rows

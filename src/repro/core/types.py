@@ -1,0 +1,70 @@
+"""Result types for XED controller reads."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class ReadStatus(enum.Enum):
+    """How a cache-line read was resolved by the XED controller."""
+
+    #: No catch-words, parity satisfied.
+    CLEAN = "clean"
+    #: Exactly one catch-word; the chip's data was rebuilt from parity
+    #: (RAID-3 erasure correction, Section V-C2).
+    CORRECTED_ERASURE = "corrected_erasure"
+    #: Multiple catch-words; serial-mode re-read let every chip's on-die
+    #: ECC deliver corrected data (the all-scaling case, Section VII-B).
+    CORRECTED_ONDIE = "corrected_ondie"
+    #: Parity mismatch without a usable catch-word; inter-/intra-line
+    #: diagnosis identified the faulty chip and parity rebuilt it
+    #: (Section VI / VII-C).
+    CORRECTED_DIAGNOSED = "corrected_diagnosed"
+    #: Detected Uncorrectable Error: the error was seen (parity mismatch)
+    #: but no single faulty chip could be identified (Section VIII).
+    DUE = "due"
+
+
+@dataclass
+class XedReadResult:
+    """Outcome of one XED cache-line read.
+
+    Attributes
+    ----------
+    status:
+        Resolution of the access.
+    words:
+        The eight 64-bit data words of the line (best effort on DUE).
+    catch_word_chips:
+        Chips whose transfer matched their catch-word.
+    reconstructed_chip:
+        Chip whose word was rebuilt from parity, if any.
+    collision:
+        True when the reconstruction matched the catch-word itself: a
+        data/catch-word collision episode (Section V-D1).  The data is
+        still correct; the controller rotates the catch-word.
+    serial_mode:
+        True when the access fell back to the serialised re-read.
+    diagnosis_used:
+        Which diagnosis identified the faulty chip ("inter", "intra",
+        "fct") when status is CORRECTED_DIAGNOSED.
+    """
+
+    status: ReadStatus
+    words: List[int]
+    catch_word_chips: List[int] = field(default_factory=list)
+    reconstructed_chip: Optional[int] = None
+    collision: bool = False
+    serial_mode: bool = False
+    diagnosis_used: Optional[str] = None
+
+    @property
+    def data(self) -> bytes:
+        """The 64-byte cache line, little-endian word order."""
+        return b"".join(w.to_bytes(8, "little") for w in self.words)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not ReadStatus.DUE

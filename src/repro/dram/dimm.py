@@ -1,0 +1,296 @@
+"""DIMM organisations: plain, SECDED ECC-DIMM, XED and lockstep ranks.
+
+A rank of an ECC-DIMM has nine x8 chips sharing a 72-bit data bus; each
+cache-line access pulls 64 bits from every chip (8 bursts of 8 bits).
+
+* :class:`EccDimm` uses the 9th chip the conventional way: each 72-bit
+  burst beat (8 bits from each chip) is one (72,64) SECDED codeword.
+* :class:`XedDimm` uses the 9th chip the XED way (Figure 2b): it stores
+  the XOR *parity of the other eight chips' words*, turning the DIMM
+  into a RAID-3 array whose erasure pointer is the catch-word.
+* :class:`ChipkillRank` glues 18 chips to a Reed-Solomon symbol code,
+  with optional XED erasure assist (Section IX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.dram.chip import DramChip, FaultGranularity, InjectedFault, ReadObservation
+from repro.dram.geometry import ChipGeometry
+from repro.ecc.hamming import HammingSECDED
+from repro.ecc.reed_solomon import ReedSolomonCode, RSDecodeFailure
+from repro.ecc.secded import SECDEDCode
+
+
+def xor_parity(words: Sequence[int]) -> int:
+    """RAID-3 parity: XOR of the data words (Equation 1 of the paper)."""
+    parity = 0
+    for w in words:
+        parity ^= w
+    return parity
+
+
+class _BaseDimm:
+    """Shared plumbing for multi-chip DIMM ranks."""
+
+    def __init__(
+        self,
+        num_chips: int,
+        chip_factory: Callable[[int], DramChip],
+    ) -> None:
+        self.chips: List[DramChip] = [chip_factory(i) for i in range(num_chips)]
+        self.geometry: ChipGeometry = self.chips[0].geometry
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.chips)
+
+    @property
+    def word_bits(self) -> int:
+        return self.chips[0].data_bits
+
+    def inject_chip_failure(
+        self,
+        chip: int,
+        granularity: FaultGranularity = FaultGranularity.CHIP,
+        permanent: bool = True,
+        bank: int = 0,
+        row: int = 0,
+        column: int = 0,
+        bit: Optional[int] = None,
+        seed: int = 0,
+        severity: int = 4,
+    ) -> InjectedFault:
+        """Inject a fault into one chip of the rank."""
+        fault = InjectedFault(
+            granularity=granularity,
+            permanent=permanent,
+            bank=bank,
+            row=row,
+            column=column,
+            bit=bit,
+            seed=seed,
+            severity=severity,
+        )
+        return self.chips[chip].inject(fault)
+
+    def read_raw_words(self, bank: int, row: int, column: int) -> List[ReadObservation]:
+        """One observation per chip for a cache-line access."""
+        return [chip.read_observed(bank, row, column) for chip in self.chips]
+
+
+def _default_chip_factory(
+    on_die_code_factory: Optional[Callable[[], SECDEDCode]],
+    scaling_ber: float,
+    seed: int,
+    geometry: Optional[ChipGeometry],
+) -> Callable[[int], DramChip]:
+    def factory(index: int) -> DramChip:
+        code = on_die_code_factory() if on_die_code_factory else None
+        return DramChip(
+            geometry=geometry,
+            on_die_code=code,
+            scaling_ber=scaling_ber,
+            seed=(seed << 8) | index,
+        )
+
+    return factory
+
+
+@dataclass
+class LineReadResult:
+    """A decoded cache line plus per-chip reliability metadata."""
+
+    words: List[int]
+    corrected: bool
+    uncorrectable: bool
+    corrected_chips: List[int]
+
+
+class EccDimm(_BaseDimm):
+    """Conventional 9-chip ECC-DIMM with per-beat (72,64) SECDED.
+
+    The DIMM-level code corrects one bit per 72-bit beat.  With on-die
+    ECC already present in every chip this adds essentially nothing --
+    the system-level conclusion of the paper's Figure 1.
+    """
+
+    DATA_CHIPS = 8
+
+    def __init__(
+        self,
+        on_die_code_factory: Optional[Callable[[], SECDEDCode]] = None,
+        dimm_code: Optional[SECDEDCode] = None,
+        scaling_ber: float = 0.0,
+        seed: int = 0,
+        geometry: Optional[ChipGeometry] = None,
+    ) -> None:
+        super().__init__(
+            self.DATA_CHIPS + 1,
+            _default_chip_factory(on_die_code_factory, scaling_ber, seed, geometry),
+        )
+        self.dimm_code = dimm_code or HammingSECDED()
+
+    def write_line(self, bank: int, row: int, column: int, words: Sequence[int]) -> None:
+        """Write 8 data words; the 9th chip stores per-beat SECDED bytes."""
+        if len(words) != self.DATA_CHIPS:
+            raise ValueError(f"expected {self.DATA_CHIPS} words")
+        check_word = 0
+        for beat in range(8):
+            beat_data = 0
+            for i, w in enumerate(words):
+                beat_data |= ((w >> (8 * beat)) & 0xFF) << (8 * i)
+            _, check_byte = self.dimm_code.encode_systematic(beat_data)
+            check_word |= check_byte << (8 * beat)
+        for i, w in enumerate(words):
+            self.chips[i].write(bank, row, column, w)
+        self.chips[8].write(bank, row, column, check_word)
+
+    def read_line(self, bank: int, row: int, column: int) -> LineReadResult:
+        """Read and run the per-beat DIMM-level SECDED."""
+        obs = self.read_raw_words(bank, row, column)
+        raw = [o.value for o in obs]
+        out_words = [0] * self.DATA_CHIPS
+        corrected = False
+        uncorrectable = False
+        corrected_chips: List[int] = []
+        for beat in range(8):
+            beat_data = 0
+            for i in range(self.DATA_CHIPS):
+                beat_data |= ((raw[i] >> (8 * beat)) & 0xFF) << (8 * i)
+            check_byte = (raw[8] >> (8 * beat)) & 0xFF
+            result = self.dimm_code.decode_systematic(beat_data, check_byte)
+            if result.outcome.value == "corrected":
+                corrected = True
+                if result.corrected_bit is not None:
+                    data_idx = self.dimm_code.data_bit_index(result.corrected_bit)
+                    if data_idx is not None:
+                        corrected_chips.append(data_idx // 8)
+            elif result.outcome.value == "detected_uncorrectable":
+                uncorrectable = True
+            for i in range(self.DATA_CHIPS):
+                out_words[i] |= ((result.data >> (8 * i)) & 0xFF) << (8 * beat)
+        return LineReadResult(
+            words=out_words,
+            corrected=corrected,
+            uncorrectable=uncorrectable,
+            corrected_chips=sorted(set(corrected_chips)),
+        )
+
+
+class XedDimm(_BaseDimm):
+    """A 9-chip ECC-DIMM whose 9th chip stores RAID-3 parity (Figure 2b).
+
+    The DIMM itself is deliberately dumb: it stores data plus parity and
+    lets each chip's DC-Mux substitute catch-words.  All intelligence --
+    catch-word recognition, parity reconstruction, collision handling,
+    diagnosis -- lives in :class:`repro.core.controller.XedController`.
+    """
+
+    DATA_CHIPS = 8
+    PARITY_CHIP = 8
+
+    def __init__(
+        self,
+        on_die_code_factory: Optional[Callable[[], SECDEDCode]] = None,
+        scaling_ber: float = 0.0,
+        seed: int = 0,
+        geometry: Optional[ChipGeometry] = None,
+    ) -> None:
+        super().__init__(
+            self.DATA_CHIPS + 1,
+            _default_chip_factory(on_die_code_factory, scaling_ber, seed, geometry),
+        )
+
+    @classmethod
+    def build(
+        cls, seed: int = 0, scaling_ber: float = 0.0
+    ) -> "XedDimm":
+        """Convenience constructor used by the examples."""
+        return cls(seed=seed, scaling_ber=scaling_ber)
+
+    def write_line(self, bank: int, row: int, column: int, words: Sequence[int]) -> None:
+        """Write 8 data words and their XOR parity to the 9th chip."""
+        if len(words) != self.DATA_CHIPS:
+            raise ValueError(f"expected {self.DATA_CHIPS} words")
+        for i, w in enumerate(words):
+            self.chips[i].write(bank, row, column, w)
+        self.chips[self.PARITY_CHIP].write(bank, row, column, xor_parity(words))
+
+
+class ChipkillRank(_BaseDimm):
+    """A lockstep rank protected by a Reed-Solomon symbol code.
+
+    ``data_chips`` data symbols and ``check_chips`` check symbols per
+    codeword; each chip contributes its per-access word one byte-symbol
+    at a time.  With XED assist, chips that sent catch-words become
+    erasures, doubling the number of tolerable chip failures
+    (Section IX-A).
+    """
+
+    def __init__(
+        self,
+        data_chips: int = 16,
+        check_chips: int = 2,
+        on_die_code_factory: Optional[Callable[[], SECDEDCode]] = None,
+        scaling_ber: float = 0.0,
+        seed: int = 0,
+        geometry: Optional[ChipGeometry] = None,
+    ) -> None:
+        super().__init__(
+            data_chips + check_chips,
+            _default_chip_factory(on_die_code_factory, scaling_ber, seed, geometry),
+        )
+        self.data_chips = data_chips
+        self.check_chips = check_chips
+        self.rs = ReedSolomonCode(data_chips + check_chips, data_chips)
+
+    def write_line(self, bank: int, row: int, column: int, words: Sequence[int]) -> None:
+        """Encode per-byte-beat RS codewords across the rank."""
+        if len(words) != self.data_chips:
+            raise ValueError(f"expected {self.data_chips} words")
+        beats = self.word_bits // 8
+        check_words = [0] * self.check_chips
+        for beat in range(beats):
+            symbols = [(w >> (8 * beat)) & 0xFF for w in words]
+            codeword = self.rs.encode(symbols)
+            for j in range(self.check_chips):
+                check_words[j] |= codeword[self.data_chips + j] << (8 * beat)
+        for i, w in enumerate(words):
+            self.chips[i].write(bank, row, column, w)
+        for j, w in enumerate(check_words):
+            self.chips[self.data_chips + j].write(bank, row, column, w)
+
+    def read_line(
+        self, bank: int, row: int, column: int, erasures: Optional[Sequence[int]] = None
+    ) -> LineReadResult:
+        """Read the rank and run RS (errors-and-erasures) decoding."""
+        obs = self.read_raw_words(bank, row, column)
+        raw = [o.value for o in obs]
+        beats = self.word_bits // 8
+        out_words = [0] * self.data_chips
+        corrected = False
+        uncorrectable = False
+        corrected_chips: set[int] = set()
+        for beat in range(beats):
+            received = [(raw[i] >> (8 * beat)) & 0xFF for i in range(self.num_chips)]
+            try:
+                result = self.rs.decode(received, erasures=erasures)
+            except RSDecodeFailure:
+                uncorrectable = True
+                for i in range(self.data_chips):
+                    out_words[i] |= received[i] << (8 * beat)
+                continue
+            if result.detected:
+                corrected = True
+                corrected_chips.update(result.error_positions)
+            for i in range(self.data_chips):
+                out_words[i] |= result.data[i] << (8 * beat)
+        return LineReadResult(
+            words=out_words,
+            corrected=corrected,
+            uncorrectable=uncorrectable,
+            corrected_chips=sorted(corrected_chips),
+        )

@@ -1,0 +1,56 @@
+"""Mode Set Register (MRS) interface of an XED-capable DRAM chip.
+
+Section V-A: DDR DRAMs already expose a side-band mechanism -- Mode Set
+Registers -- for programming internal parameters without touching the
+data path.  XED adds exactly two registers, 65 bits of state per chip:
+
+* ``XED-Enable`` (1 bit): when clear, the chip behaves like a plain
+  on-die-ECC DRAM and always returns (corrected) data.
+* ``Catch-Word Register`` (CWR, 64 bits for x8 / 32 for x4): the
+  pre-agreed value the chip transmits instead of data whenever its
+  on-die ECC detects or corrects an error.
+
+The memory controller writes both at boot and keeps its own copy of the
+CWR so it can recognise catch-words on the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ModeRegisters:
+    """The per-chip MRS state XED relies on (65 bits for x8 devices)."""
+
+    #: Catch-word width in bits; equals the chip's per-access beat width
+    #: times the burst length (64 for x8 devices, 32 for x4).
+    catch_word_bits: int = 64
+    xed_enable: bool = False
+    catch_word: int = 0
+    #: Number of MRS writes performed; lets tests assert that catch-word
+    #: updates are cheap (a handful of MRS commands, Section V-D3).
+    mrs_writes: int = field(default=0, repr=False)
+
+    @property
+    def catch_word_mask(self) -> int:
+        return (1 << self.catch_word_bits) - 1
+
+    def set_xed_enable(self, enabled: bool) -> None:
+        """MRS write toggling XED mode (used by serial-mode recovery)."""
+        self.xed_enable = bool(enabled)
+        self.mrs_writes += 1
+
+    def set_catch_word(self, value: int) -> None:
+        """MRS write programming the catch-word register."""
+        if not 0 <= value <= self.catch_word_mask:
+            raise ValueError(
+                f"catch-word must fit in {self.catch_word_bits} bits"
+            )
+        self.catch_word = value
+        self.mrs_writes += 1
+
+    @property
+    def storage_overhead_bits(self) -> int:
+        """Total per-chip register cost (the paper's 65-bit figure)."""
+        return self.catch_word_bits + 1

@@ -1,0 +1,211 @@
+"""Finite-field arithmetic over GF(2^m).
+
+Chipkill-style codes operate on *symbols* rather than bits: each DRAM chip
+contributes one symbol per transfer and the code corrects whole faulty
+symbols.  The natural algebra for such codes is the Galois field GF(2^m),
+where ``m`` is the symbol width in bits (8 for x8 devices, 4 for x4
+devices).
+
+The implementation uses log/antilog tables built from a primitive
+polynomial, giving O(1) multiply/divide/inverse, which keeps the
+Reed-Solomon codec in :mod:`repro.ecc.reed_solomon` fast enough for
+Monte-Carlo use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Default primitive polynomials (with the x^m term included) for the
+#: field sizes the memory system cares about.  Keys are ``m``.
+PRIMITIVE_POLYNOMIALS = {
+    2: 0b111,              # x^2 + x + 1
+    3: 0b1011,             # x^3 + x + 1
+    4: 0b10011,            # x^4 + x + 1
+    5: 0b100101,           # x^5 + x^2 + 1
+    6: 0b1000011,          # x^6 + x + 1
+    7: 0b10001001,         # x^7 + x^3 + 1
+    8: 0b100011101,        # x^8 + x^4 + x^3 + x^2 + 1 (the classic RS field)
+    10: 0b10000001001,     # x^10 + x^3 + 1
+    12: 0b1000001010011,   # x^12 + x^6 + x^4 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with log/antilog table arithmetic.
+
+    Parameters
+    ----------
+    m:
+        Bit-width of field elements.  The field has ``2**m`` elements.
+    primitive_poly:
+        Optional primitive polynomial (including the x^m term).  When
+        omitted, a standard polynomial from :data:`PRIMITIVE_POLYNOMIALS`
+        is used.
+
+    Examples
+    --------
+    >>> gf = GF2m(8)
+    >>> gf.mul(0x57, 0x83)
+    193
+    >>> gf.mul(gf.inv(7), 7)
+    1
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None) -> None:
+        if m < 2 or m > 16:
+            raise ValueError(f"GF(2^m) supported for 2 <= m <= 16, got m={m}")
+        if primitive_poly is None:
+            primitive_poly = PRIMITIVE_POLYNOMIALS[m]
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # order of the multiplicative group
+        self.primitive_poly = primitive_poly
+        self._exp: List[int] = [0] * (2 * self.order)
+        self._log: List[int] = [0] * self.size
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Fill the antilog (exp) and log tables by repeated doubling."""
+        x = 1
+        for i in range(self.order):
+            self._exp[i] = x
+            self._log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.primitive_poly
+            if x == 1 and i != self.order - 1:
+                # x cycled back early: irreducible-but-not-primitive
+                # polynomials (e.g. AES's 0x11B) land here.
+                raise ValueError(
+                    f"polynomial {self.primitive_poly:#x} is not primitive "
+                    f"for m={self.m} (x has order {i + 1})"
+                )
+        if x != 1:
+            raise ValueError(
+                f"polynomial {self.primitive_poly:#x} is not primitive for m={self.m}"
+            )
+        # Duplicate the exp table so mul can skip a modulo operation.
+        for i in range(self.order, 2 * self.order):
+            self._exp[i] = self._exp[i - self.order]
+
+    # -- element-wise operations ------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (== subtraction): bitwise XOR."""
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises ZeroDivisionError for b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[(self._log[a] - self._log[b]) % self.order]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of ``a``."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self._exp[self.order - self._log[a]]
+
+    def pow(self, a: int, n: int) -> int:
+        """``a`` raised to the integer power ``n`` (n may be negative)."""
+        if a == 0:
+            if n == 0:
+                return 1
+            if n < 0:
+                raise ZeroDivisionError("zero to a negative power")
+            return 0
+        return self._exp[(self._log[a] * n) % self.order]
+
+    def alpha_pow(self, n: int) -> int:
+        """Return alpha^n where alpha is the primitive element (== 2)."""
+        return self._exp[n % self.order]
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha; raises for a == 0."""
+        if a == 0:
+            raise ValueError("log(0) undefined in GF(2^m)")
+        return self._log[a]
+
+    # -- polynomial operations (coefficient lists, lowest degree first) ---
+
+    def poly_add(self, p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Add two polynomials with coefficients in the field."""
+        n = max(len(p), len(q))
+        out = [0] * n
+        for i, c in enumerate(p):
+            out[i] ^= c
+        for i, c in enumerate(q):
+            out[i] ^= c
+        return out
+
+    def poly_scale(self, p: Sequence[int], c: int) -> List[int]:
+        """Multiply every coefficient of ``p`` by the scalar ``c``."""
+        return [self.mul(coef, c) for coef in p]
+
+    def poly_mul(self, p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Multiply two polynomials."""
+        out = [0] * (len(p) + len(q) - 1)
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            for j, b in enumerate(q):
+                if b:
+                    out[i + j] ^= self.mul(a, b)
+        return out
+
+    def poly_eval(self, p: Sequence[int], x: int) -> int:
+        """Evaluate polynomial ``p`` at the point ``x`` (Horner's rule)."""
+        acc = 0
+        for coef in reversed(p):
+            acc = self.mul(acc, x) ^ coef
+        return acc
+
+    def poly_divmod(
+        self, num: Sequence[int], den: Sequence[int]
+    ) -> tuple[List[int], List[int]]:
+        """Polynomial division: return (quotient, remainder)."""
+        den = list(den)
+        while den and den[-1] == 0:
+            den.pop()
+        if not den:
+            raise ZeroDivisionError("polynomial division by zero")
+        num = list(num)
+        if len(num) < len(den):
+            return [0], num
+        quot = [0] * (len(num) - len(den) + 1)
+        lead_inv = self.inv(den[-1])
+        for i in range(len(quot) - 1, -1, -1):
+            coef = self.mul(num[i + len(den) - 1], lead_inv)
+            quot[i] = coef
+            if coef:
+                for j, d in enumerate(den):
+                    num[i + j] ^= self.mul(coef, d)
+        rem = num[: len(den) - 1]
+        return quot, rem
+
+    def poly_deriv(self, p: Sequence[int]) -> List[int]:
+        """Formal derivative; in characteristic 2 even-power terms vanish."""
+        return [p[i] if i % 2 == 1 else 0 for i in range(1, len(p))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"GF(2^{self.m}, poly={self.primitive_poly:#x})"
+
+
+#: Shared GF(2^8) instance; building log tables is cheap but there is no
+#: reason to rebuild them for every codec.
+GF256 = GF2m(8)
+
+#: Shared GF(2^4) instance for x4-device symbol arithmetic.
+GF16 = GF2m(4)

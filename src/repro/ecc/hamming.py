@@ -1,0 +1,146 @@
+"""(72,64) Hamming SECDED code in the classic extended-Hamming layout.
+
+This is the code conventional ECC-DIMMs implement (Section II-D1) and the
+incumbent candidate for on-die ECC that the paper argues *against* in
+Section V-E: its burst-error detection is weak, because the XOR of the
+position indices of several adjacent bits frequently cancels to zero.
+Table II quantifies that weakness; :mod:`repro.ecc.detection` regenerates
+the table against this implementation.
+
+Layout
+------
+Internally the code uses 1-indexed Hamming positions 1..71 with the seven
+check bits at the power-of-two positions (1, 2, 4, 8, 16, 32, 64) and the
+64 data bits filling the remaining positions; bit 72 is an overall parity
+bit covering positions 1..71, which upgrades SEC to SECDED.  The exposed
+codeword bit ``i`` (0-based) is Hamming position ``i + 1``, except that
+exposed bit 71 is the overall parity bit.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.secded import DecodeOutcome, DecodeResult, SECDEDCode, popcount
+
+
+class HammingSECDED(SECDEDCode):
+    """The (72,64) extended Hamming single-error-correct/double-detect code."""
+
+    n = 72
+    k = 64
+
+    #: 1-indexed Hamming positions of the seven syndrome check bits.
+    CHECK_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+    #: 0-based codeword index of the overall (DED) parity bit.
+    PARITY_BIT = 71
+
+    def __init__(self) -> None:
+        # Data slots: Hamming positions 1..71 that are not powers of two.
+        check_set = set(self.CHECK_POSITIONS)
+        self._data_positions = [p for p in range(1, 72) if p not in check_set]
+        assert len(self._data_positions) == 64
+        # For each of the 7 syndrome bits, the mask of codeword bits
+        # (0-based indices) it covers: position p is covered by syndrome
+        # bit b when bit b of p is set.
+        self._syndrome_masks = []
+        for b in range(7):
+            mask = 0
+            for p in range(1, 72):
+                if p & (1 << b):
+                    mask |= 1 << (p - 1)
+            self._syndrome_masks.append(mask)
+        self._all_mask = (1 << 71) - 1  # positions 1..71 as bits 0..70
+
+    # -- encode --------------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        if not 0 <= data <= self.data_mask:
+            raise ValueError("data does not fit in 64 bits")
+        word = 0
+        for i, pos in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                word |= 1 << (pos - 1)
+        # Choose the 7 check bits so every syndrome bit has even parity.
+        for b, pos in enumerate(self.CHECK_POSITIONS):
+            if popcount(word & self._syndrome_masks[b]) & 1:
+                word |= 1 << (pos - 1)
+        # Overall parity over positions 1..71.
+        if popcount(word & self._all_mask) & 1:
+            word |= 1 << self.PARITY_BIT
+        return word
+
+    # -- decode --------------------------------------------------------------
+
+    def _syndrome(self, word: int) -> int:
+        synd = 0
+        for b in range(7):
+            if popcount(word & self._syndrome_masks[b]) & 1:
+                synd |= 1 << b
+        return synd
+
+    def decode(self, word: int) -> DecodeResult:
+        if not 0 <= word <= self.codeword_mask:
+            raise ValueError("word does not fit in 72 bits")
+        synd = self._syndrome(word)
+        parity_err = popcount(word) & 1  # whole word incl. parity bit
+
+        if synd == 0 and not parity_err:
+            return DecodeResult(DecodeOutcome.CLEAN, self._extract(word))
+        if synd == 0 and parity_err:
+            # Only the overall parity bit is wrong.
+            fixed = word ^ (1 << self.PARITY_BIT)
+            return DecodeResult(
+                DecodeOutcome.CORRECTED, self._extract(fixed), self.PARITY_BIT
+            )
+        if parity_err:
+            # Odd number of flips with a nonzero syndrome: single-bit error
+            # at Hamming position ``synd`` -- if that is a real position.
+            if 1 <= synd <= 71:
+                fixed = word ^ (1 << (synd - 1))
+                return DecodeResult(
+                    DecodeOutcome.CORRECTED, self._extract(fixed), synd - 1
+                )
+            return DecodeResult(
+                DecodeOutcome.DETECTED_UNCORRECTABLE, self._extract(word)
+            )
+        # Even number of flips, nonzero syndrome: detected double error.
+        return DecodeResult(DecodeOutcome.DETECTED_UNCORRECTABLE, self._extract(word))
+
+    def is_codeword(self, word: int) -> bool:
+        """Fast validity check used by the detection-rate analysis."""
+        return self._syndrome(word) == 0 and popcount(word) % 2 == 0
+
+    def split(self, word: int) -> tuple[int, int]:
+        data = self._extract(word)
+        check = 0
+        for b, pos in enumerate(self.CHECK_POSITIONS):
+            if (word >> (pos - 1)) & 1:
+                check |= 1 << b
+        if (word >> self.PARITY_BIT) & 1:
+            check |= 1 << 7
+        return data, check
+
+    def join(self, data: int, check: int) -> int:
+        word = 0
+        for i, pos in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                word |= 1 << (pos - 1)
+        for b, pos in enumerate(self.CHECK_POSITIONS):
+            if (check >> b) & 1:
+                word |= 1 << (pos - 1)
+        if (check >> 7) & 1:
+            word |= 1 << self.PARITY_BIT
+        return word
+
+    def data_bit_index(self, codeword_bit: int) -> int | None:
+        position = codeword_bit + 1
+        try:
+            return self._data_positions.index(position)
+        except ValueError:
+            return None
+
+    def _extract(self, word: int) -> int:
+        data = 0
+        for i, pos in enumerate(self._data_positions):
+            if (word >> (pos - 1)) & 1:
+                data |= 1 << i
+        return data

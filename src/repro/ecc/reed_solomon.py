@@ -1,0 +1,304 @@
+"""Reed-Solomon symbol codes: the algebra behind Chipkill.
+
+Chipkill (the paper's baseline, Section II-D2) is a symbol-based code:
+each DRAM chip supplies one symbol of the codeword, two extra "check"
+chips let the code *locate and correct* one faulty symbol and detect two
+(SSC-DSD).  Double-Chipkill uses four check symbols to correct two faulty
+chips.  XED turns the same check symbols into pure *erasure* correctors:
+once the catch-word pinpoints the faulty chips, ``t`` check symbols can
+repair ``t`` erased chips instead of ``t/2`` unknown-location errors
+(Section IX-A).
+
+This module implements a textbook-complete Reed-Solomon codec over any
+GF(2^m):
+
+* systematic encoding with generator polynomial ``g(x) = (x-a^fcr) ... ``
+* syndrome computation
+* Berlekamp-Massey error locator synthesis
+* Chien search and Forney's algorithm
+* combined *errors-and-erasures* decoding, which is what an XED-enabled
+  Chipkill controller actually runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.ecc.gf import GF2m, GF256
+
+
+class RSDecodeFailure(Exception):
+    """Raised when the decoder detects an uncorrectable codeword."""
+
+
+@dataclass(frozen=True)
+class RSDecodeResult:
+    """Outcome of a Reed-Solomon decode.
+
+    Attributes
+    ----------
+    codeword:
+        The corrected codeword (length ``n``), lowest index first.
+    data:
+        The corrected data symbols (length ``k``).
+    error_positions:
+        Symbol indices that were corrected (includes erasure positions
+        that actually held a wrong value).
+    detected:
+        True when the received word was not already a valid codeword.
+    """
+
+    codeword: List[int]
+    data: List[int]
+    error_positions: List[int]
+    detected: bool
+
+
+class ReedSolomonCode:
+    """A systematic RS(n, k) code over GF(2^m).
+
+    Parameters
+    ----------
+    n:
+        Codeword length in symbols (``n <= 2^m - 1``).
+    k:
+        Number of data symbols; ``n - k`` check symbols are appended.
+    field:
+        The finite field to operate in (defaults to GF(2^8)).
+    fcr:
+        First consecutive root exponent of the generator polynomial.
+
+    Notes
+    -----
+    With ``r = n - k`` check symbols the code corrects ``floor(r/2)``
+    errors at unknown positions, detects ``r`` errors, and corrects up to
+    ``r`` erasures at known positions -- the operating point XED exploits.
+    """
+
+    def __init__(self, n: int, k: int, field: GF2m = GF256, fcr: int = 1) -> None:
+        if not 0 < k < n <= field.order:
+            raise ValueError(
+                f"need 0 < k < n <= {field.order} for GF(2^{field.m}); got n={n}, k={k}"
+            )
+        self.n = n
+        self.k = k
+        self.field = field
+        self.fcr = fcr
+        self.num_check = n - k
+        self.t = self.num_check // 2  # random-error correction capability
+        self.generator = self._build_generator()
+
+    def _build_generator(self) -> List[int]:
+        """g(x) = prod_{i=0}^{r-1} (x - alpha^(fcr+i)), low coeff first."""
+        gf = self.field
+        gen = [1]
+        for i in range(self.num_check):
+            gen = gf.poly_mul(gen, [gf.alpha_pow(self.fcr + i), 1])
+        return gen
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """Systematically encode ``k`` data symbols into an ``n``-codeword.
+
+        The layout is ``[d_0 ... d_{k-1}, p_0 ... p_{r-1}]``; in the memory
+        system mapping, data symbols are the data chips and parity symbols
+        the check chips.
+        """
+        if len(data) != self.k:
+            raise ValueError(f"expected {self.k} data symbols, got {len(data)}")
+        gf = self.field
+        for s in data:
+            if not 0 <= s < gf.size:
+                raise ValueError(f"symbol {s} out of range for GF(2^{gf.m})")
+        # Message polynomial m(x) * x^r, then remainder mod g(x).
+        shifted = [0] * self.num_check + list(reversed(data))
+        _, rem = gf.poly_divmod(shifted, self.generator)
+        rem = rem + [0] * (self.num_check - len(rem))
+        # Codeword, index 0 = first data symbol.
+        return list(data) + list(reversed(rem))
+
+    # -- decoding ----------------------------------------------------------
+
+    def syndromes(self, received: Sequence[int]) -> List[int]:
+        """Compute the ``r`` syndromes of a received word."""
+        gf = self.field
+        # Treat received[0] as the coefficient of x^(n-1).
+        poly = list(reversed(received))
+        return [
+            gf.poly_eval(poly, gf.alpha_pow(self.fcr + i))
+            for i in range(self.num_check)
+        ]
+
+    def is_codeword(self, received: Sequence[int]) -> bool:
+        """True when every syndrome is zero."""
+        return all(s == 0 for s in self.syndromes(received))
+
+    def decode(
+        self,
+        received: Sequence[int],
+        erasures: Optional[Sequence[int]] = None,
+    ) -> RSDecodeResult:
+        """Errors-and-erasures decode.
+
+        Parameters
+        ----------
+        received:
+            ``n`` received symbols.
+        erasures:
+            Symbol positions known to be unreliable (e.g. chips that sent a
+            catch-word).  With ``e`` erasures and ``v`` random errors the
+            decode succeeds when ``2v + e <= n - k``.
+
+        Raises
+        ------
+        RSDecodeFailure:
+            When the word is uncorrectable (the DUE case).
+        """
+        if len(received) != self.n:
+            raise ValueError(f"expected {self.n} symbols, got {len(received)}")
+        gf = self.field
+        erasure_list = sorted(set(erasures or []))
+        for pos in erasure_list:
+            if not 0 <= pos < self.n:
+                raise ValueError(f"erasure position {pos} outside codeword")
+        if len(erasure_list) > self.num_check:
+            raise RSDecodeFailure(
+                f"{len(erasure_list)} erasures exceed {self.num_check} check symbols"
+            )
+
+        synd = self.syndromes(received)
+        if all(s == 0 for s in synd):
+            # Already a valid codeword; erased positions held correct data.
+            cw = list(received)
+            return RSDecodeResult(cw, cw[: self.k], [], detected=False)
+
+        # Position j of the codeword corresponds to the locator alpha^(n-1-j)
+        # because received[0] is the x^(n-1) coefficient.
+        erasure_locators = [gf.alpha_pow(self.n - 1 - p) for p in erasure_list]
+
+        # Erasure locator polynomial Gamma(x) = prod (1 - X_i x).
+        gamma = [1]
+        for xloc in erasure_locators:
+            gamma = gf.poly_mul(gamma, [1, xloc])
+
+        # Modified (Forney) syndromes: S'(x) = S(x) * Gamma(x) mod x^r.
+        # Only the coefficients from index e upward satisfy the
+        # error-only LFSR recurrence, so Berlekamp-Massey runs on that
+        # suffix (length r - e, enough for v errors when 2v + e <= r).
+        synd_poly = list(synd)
+        mod_synd = gf.poly_mul(synd_poly, gamma)[: self.num_check]
+        sigma = self._berlekamp_massey(mod_synd[len(erasure_list):])
+        num_errors = len(sigma) - 1
+        if 2 * num_errors + len(erasure_list) > self.num_check:
+            raise RSDecodeFailure("error count exceeds correction capability")
+
+        # Overall locator = sigma(x) * Gamma(x); roots give all bad spots.
+        locator = gf.poly_mul(sigma, gamma)
+        positions = self._chien_search(locator)
+        if len(positions) != len(locator) - 1:
+            raise RSDecodeFailure("error locator has wrong number of roots")
+
+        # Error evaluator Omega(x) = S(x) * locator(x) mod x^r.
+        omega = gf.poly_mul(synd_poly, locator)[: self.num_check]
+        magnitudes = self._forney(omega, locator, positions)
+
+        corrected = list(received)
+        changed: List[int] = []
+        for pos, mag in zip(positions, magnitudes):
+            if mag:
+                corrected[pos] ^= mag
+                changed.append(pos)
+        if not all(s == 0 for s in self.syndromes(corrected)):
+            raise RSDecodeFailure("correction did not produce a valid codeword")
+        return RSDecodeResult(
+            corrected, corrected[: self.k], sorted(changed), detected=True
+        )
+
+    # -- decoder internals ---------------------------------------------------
+
+    def _berlekamp_massey(self, synd: Sequence[int]) -> List[int]:
+        """Synthesize the error-locator polynomial from a syndrome run."""
+        gf = self.field
+        sigma = [1]
+        prev = [1]
+        l = 0
+        m = 1
+        b = 1
+        for i in range(len(synd)):
+            # Discrepancy.
+            d = synd[i]
+            for j in range(1, l + 1):
+                if j < len(sigma) and sigma[j]:
+                    d ^= gf.mul(sigma[j], synd[i - j])
+            if d == 0:
+                m += 1
+            elif 2 * l <= i:
+                temp = list(sigma)
+                coef = gf.div(d, b)
+                shifted = [0] * m + gf.poly_scale(prev, coef)
+                sigma = gf.poly_add(sigma, shifted)
+                l = i + 1 - l
+                prev = temp
+                b = d
+                m = 1
+            else:
+                coef = gf.div(d, b)
+                shifted = [0] * m + gf.poly_scale(prev, coef)
+                sigma = gf.poly_add(sigma, shifted)
+                m += 1
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(self, locator: Sequence[int]) -> List[int]:
+        """Find codeword positions whose locator is a root of ``locator``."""
+        gf = self.field
+        positions = []
+        for j in range(self.n):
+            # X_j = alpha^(n-1-j); locator roots are X_j^{-1}.
+            x_inv = gf.alpha_pow(-(self.n - 1 - j))
+            if gf.poly_eval(locator, x_inv) == 0:
+                positions.append(j)
+        return positions
+
+    def _forney(
+        self,
+        omega: Sequence[int],
+        locator: Sequence[int],
+        positions: Sequence[int],
+    ) -> List[int]:
+        """Compute error magnitudes at the located positions."""
+        gf = self.field
+        deriv = gf.poly_deriv(locator)
+        magnitudes = []
+        for j in positions:
+            x = gf.alpha_pow(self.n - 1 - j)
+            x_inv = gf.inv(x)
+            num = gf.poly_eval(omega, x_inv)
+            den = gf.poly_eval(deriv, x_inv)
+            if den == 0:
+                raise RSDecodeFailure("Forney denominator vanished")
+            mag = gf.div(num, den)
+            # Adjust for fcr != 1: magnitude e_j = X_j^{1-fcr} * Omega/Lambda'.
+            mag = gf.mul(mag, gf.pow(x, 1 - self.fcr))
+            magnitudes.append(mag)
+        return magnitudes
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def chipkill(cls, data_chips: int = 16, field: GF2m = GF256) -> "ReedSolomonCode":
+        """SSC-DSD Chipkill: ``data_chips`` data symbols + 2 check symbols."""
+        return cls(data_chips + 2, data_chips, field=field)
+
+    @classmethod
+    def double_chipkill(
+        cls, data_chips: int = 32, field: GF2m = GF256
+    ) -> "ReedSolomonCode":
+        """Double-Chipkill: ``data_chips`` data symbols + 4 check symbols."""
+        return cls(data_chips + 4, data_chips, field=field)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RS({self.n},{self.k}) over GF(2^{self.field.m})"

@@ -1,0 +1,155 @@
+"""Common interface for (72,64) SECDED-class codes.
+
+Both the conventional ECC-DIMM code and the on-die ECC of the paper are
+(72,64) codes: 64 data bits protected by 8 check bits.  The two concrete
+implementations are :class:`repro.ecc.hamming.HammingSECDED` and
+:class:`repro.ecc.crc8.CRC8ATMCode`; they share this interface so the
+chip model, the fault injector and the Table-II analysis can treat them
+interchangeably.
+
+Codewords are represented as Python integers with bit ``i`` of the
+integer holding codeword bit ``i`` (bit 0 is the first bit on the wire).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class DecodeOutcome(enum.Enum):
+    """What the decoder concluded about a received word."""
+
+    #: Zero syndrome: the word is a valid codeword (possibly an undetected
+    #: multi-bit error, but the decoder cannot know that).
+    CLEAN = "clean"
+    #: A single-bit error was located and corrected.
+    CORRECTED = "corrected"
+    #: The word is invalid and not correctable as a single-bit error.
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of decoding one (72,64) word.
+
+    Attributes
+    ----------
+    outcome:
+        The decoder's conclusion.
+    data:
+        The 64 decoded data bits (best effort for uncorrectable words).
+    corrected_bit:
+        Codeword bit index that was flipped back, or None.
+    detected:
+        Convenience flag: True whenever the received word was *invalid*
+        (corrected or uncorrectable).  This is exactly the condition under
+        which an XED-enabled chip transmits its catch-word (Section V-B).
+    """
+
+    outcome: DecodeOutcome
+    data: int
+    corrected_bit: int | None = None
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome is not DecodeOutcome.CLEAN
+
+
+class SECDEDCode:
+    """Abstract (n, k) single-error-correcting code over bits.
+
+    Subclasses must fill in :meth:`encode` and :meth:`decode`.  ``n`` and
+    ``k`` default to the paper's (72, 64) geometry but the interface keeps
+    them parametric so x4-width variants can reuse the machinery.
+    """
+
+    n: int = 72
+    k: int = 64
+
+    @property
+    def num_check_bits(self) -> int:
+        return self.n - self.k
+
+    @property
+    def data_mask(self) -> int:
+        return (1 << self.k) - 1
+
+    @property
+    def codeword_mask(self) -> int:
+        return (1 << self.n) - 1
+
+    def encode(self, data: int) -> int:
+        """Encode ``k`` data bits into an ``n``-bit codeword."""
+        raise NotImplementedError
+
+    def decode(self, word: int) -> DecodeResult:
+        """Decode an ``n``-bit received word."""
+        raise NotImplementedError
+
+    def split(self, word: int) -> tuple[int, int]:
+        """Split a codeword into (data bits, check bits).
+
+        Gives a *systematic view* of the code regardless of its internal
+        bit layout: DIMM organisations store the data bits in the data
+        chips and the check bits in the 9th chip.
+        """
+        raise NotImplementedError
+
+    def join(self, data: int, check: int) -> int:
+        """Inverse of :meth:`split`: rebuild the codeword layout."""
+        raise NotImplementedError
+
+    def data_bit_index(self, codeword_bit: int) -> int | None:
+        """Systematic data-bit index of a codeword bit (None for check bits)."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+
+    def encode_systematic(self, data: int) -> tuple[int, int]:
+        """Encode and return (data, check) as separately storable fields."""
+        return self.split(self.encode(data))
+
+    def decode_systematic(self, data: int, check: int) -> "DecodeResult":
+        """Decode from separately stored data and check fields."""
+        return self.decode(self.join(data, check))
+
+    def is_codeword(self, word: int) -> bool:
+        """True when ``word`` has a zero syndrome."""
+        return self.decode(word).outcome is DecodeOutcome.CLEAN
+
+    def detects(self, error_pattern: int) -> bool:
+        """Would this nonzero error pattern be flagged as invalid?
+
+        An error pattern is *undetected* exactly when it is itself a valid
+        codeword (the syndrome of ``codeword XOR pattern`` equals the
+        syndrome of ``pattern``).  This is the quantity Table II of the
+        paper tabulates.
+        """
+        if error_pattern == 0:
+            raise ValueError("the zero pattern is not an error")
+        return not self.is_codeword(error_pattern)
+
+    def check_roundtrip(self, data: int) -> bool:
+        """Sanity helper: encode then decode must return ``data`` cleanly."""
+        result = self.decode(self.encode(data))
+        return result.outcome is DecodeOutcome.CLEAN and result.data == data
+
+
+def iter_bits(word: int, width: int) -> Iterator[int]:
+    """Yield the indices of set bits of ``word`` below ``width``."""
+    i = 0
+    while word and i < width:
+        if word & 1:
+            yield i
+        word >>= 1
+        i += 1
+
+
+def popcount(word: int) -> int:
+    """Number of set bits (alias of int.bit_count with pre-3.10 fallback)."""
+    try:
+        return word.bit_count()
+    except AttributeError:  # pragma: no cover - Python < 3.10
+        return bin(word).count("1")

@@ -1,0 +1,200 @@
+"""Vectorised Monte-Carlo fault sampling.
+
+The paper simulates one billion systems; getting anywhere near that in
+Python requires separating the cheap common case from the expensive
+rare one.  The number of runtime faults a system develops over 7 years
+is Poisson with mean ~0.3, so the overwhelming majority of sample
+systems draw fewer faults than the scheme under test can possibly fail
+on -- those are resolved wholesale with one vectorised Poisson draw.
+Only the surviving minority gets fully materialised
+:class:`~repro.faultsim.fault.ChipFault` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.geometry import ChipGeometry
+from repro.faultsim.fault import AddressRange, ChipFault, FaultSpace
+from repro.faultsim.fault_models import FailureMode, FitTable
+from repro.faultsim.scaling import ScalingFaultModel
+from repro.faultsim.schemes import ProtectionScheme
+
+
+@dataclass
+class SampledSystem:
+    """One Monte-Carlo sample system that needs detailed evaluation."""
+
+    index: int
+    faults: List[ChipFault]
+
+
+class FaultSampler:
+    """Samples runtime faults for a memory system shape.
+
+    Parameters
+    ----------
+    scheme:
+        Supplies the chip population (channels x ranks x chips/rank).
+    fit:
+        Per-chip FIT table (Table I by default).
+    hours:
+        Simulated lifetime.
+    scaling_rate:
+        Scaling-fault bit-error rate; promotes the corresponding share
+        of runtime single-bit faults into visible two-bit word faults.
+    scrub_hours:
+        If set, transient faults deactivate after this interval
+        (memory scrubbing); by default damage persists, the paper's
+        accumulate-over-lifetime assumption.
+    device_width:
+        x8 or x4; sets the lane width a column failure breaks.
+    """
+
+    def __init__(
+        self,
+        scheme: ProtectionScheme,
+        fit: FitTable,
+        hours: float,
+        scaling_rate: float = 0.0,
+        scrub_hours: Optional[float] = None,
+        device_width: int = 8,
+        chip_geometry: Optional[ChipGeometry] = None,
+    ) -> None:
+        self.scheme = scheme
+        self.fit = fit
+        self.hours = hours
+        self.scrub_hours = scrub_hours
+        geometry = chip_geometry or ChipGeometry(device_width=device_width)
+        self.space = FaultSpace.for_chip(geometry)
+        self.geometry = geometry
+        self.scaling = ScalingFaultModel(bit_error_rate=scaling_rate)
+        self.promotion_p = (
+            self.scaling.promotion_probability if scaling_rate > 0 else 0.0
+        )
+        modes = fit.mode_weights()
+        self._modes: List[Tuple[FailureMode, bool]] = [
+            (mode, permanent) for mode, permanent, _ in modes
+        ]
+        self._mode_probs = np.array([w for _, _, w in modes])
+        self._wildcards = [self.space.wildcard_for(mode) for mode, _ in self._modes]
+
+    @property
+    def lam_per_system(self) -> float:
+        """Expected runtime faults per system over the lifetime."""
+        return self.fit.total_fit * 1e-9 * self.hours * self.scheme.total_chips
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_counts(self, num_systems: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.poisson(self.lam_per_system, num_systems)
+
+    def materialise(
+        self,
+        system_indices: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Iterator[SampledSystem]:
+        """Build ChipFault lists for the systems that need evaluation."""
+        total = int(counts.sum())
+        if total == 0:
+            return
+        s = self.space
+        chips_per_rank = self.scheme.chips_per_rank
+        ranks = self.scheme.ranks_per_channel
+
+        mode_idx = rng.choice(len(self._modes), size=total, p=self._mode_probs)
+        chip_global = rng.integers(0, self.scheme.total_chips, size=total)
+        times = rng.uniform(0.0, self.hours, size=total)
+        banks = rng.integers(0, self.geometry.banks, size=total)
+        rows = rng.integers(0, self.geometry.rows_per_bank, size=total)
+        cols = rng.integers(0, self.geometry.columns_per_row, size=total)
+        bits = rng.integers(0, 1 << (s.beat_bits + s.lane_bits), size=total)
+        promote_draw = rng.random(size=total)
+
+        addr_values = (
+            (banks.astype(np.int64) << s.bank_shift)
+            | (rows.astype(np.int64) << s.row_shift)
+            | (cols.astype(np.int64) << s.column_shift)
+            | bits.astype(np.int64)
+        )
+
+        offset = 0
+        for sys_idx, n in zip(system_indices, counts):
+            n = int(n)
+            faults: List[ChipFault] = []
+            for j in range(offset, offset + n):
+                faults.extend(self._build_fault(
+                    int(mode_idx[j]),
+                    int(chip_global[j]),
+                    float(times[j]),
+                    int(addr_values[j]),
+                    float(promote_draw[j]),
+                    chips_per_rank,
+                    ranks,
+                ))
+            offset += n
+            yield SampledSystem(int(sys_idx), faults)
+
+    def _build_fault(
+        self,
+        mode_i: int,
+        chip_global: int,
+        time_hours: float,
+        addr_value: int,
+        promote_u: float,
+        chips_per_rank: int,
+        ranks: int,
+    ) -> List[ChipFault]:
+        mode, permanent = self._modes[mode_i]
+        wildcard = self._wildcards[mode_i]
+        chip = chip_global % chips_per_rank
+        rank = (chip_global // chips_per_rank) % ranks
+        channel = chip_global // (chips_per_rank * ranks)
+
+        correctable = mode.on_die_correctable
+        if correctable and promote_u < self.promotion_p:
+            # Runtime bit fault struck a word holding a scaling fault:
+            # the two-bit word escapes on-die correction (Section VII).
+            correctable = False
+            wildcard = self.space.word_mask
+
+        end = float("inf")
+        if not permanent and self.scrub_hours is not None:
+            end = time_hours + self.scrub_hours
+
+        addr = AddressRange(addr_value, wildcard)
+        base = ChipFault(
+            channel=channel,
+            rank=rank,
+            chip=chip,
+            mode=mode,
+            permanent=permanent,
+            time_hours=time_hours,
+            addr=addr,
+            on_die_correctable=correctable,
+            end_hours=end,
+        )
+        if not mode.spans_ranks or ranks == 1:
+            return [base]
+        # Multi-rank fault: the same chip position fails in every rank
+        # of the channel (shared I/O / command circuitry).
+        clones = []
+        for r in range(ranks):
+            clones.append(
+                ChipFault(
+                    channel=channel,
+                    rank=r,
+                    chip=chip,
+                    mode=mode,
+                    permanent=permanent,
+                    time_hours=time_hours,
+                    addr=addr,
+                    on_die_correctable=correctable,
+                    end_hours=end,
+                )
+            )
+        return clones

@@ -1,0 +1,177 @@
+"""DRAM command logging and JEDEC-constraint validation.
+
+The channel model computes request timing algebraically rather than
+stepping cycle by cycle, which makes an independent checker valuable:
+this module records the discrete command stream (ACT / RD / WR / data
+bursts) a simulation implies and re-verifies every JEDEC constraint
+after the fact -- tRC, tRCD, tRP, tRAS, tRRD, tFAW, tCCD, tWTR, data-bus
+exclusivity and read-latency consistency.  The validator is used by the
+test suite as a timing lint over randomized workloads; simulations run
+with logging off by default (it costs memory, not accuracy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perfsim.timing import DDR3Timing
+
+
+class Cmd(enum.Enum):
+    ACT = "act"
+    READ = "read"
+    WRITE = "write"
+    REFRESH = "refresh"
+
+
+@dataclass(frozen=True)
+class LoggedCommand:
+    """One command with its issue time and data-burst window."""
+
+    cmd: Cmd
+    time: float
+    rank: int
+    bank: int
+    row: int = -1
+    data_start: float = 0.0
+    data_end: float = 0.0
+
+
+@dataclass
+class CommandLog:
+    """Ordered command record for one channel."""
+
+    commands: List[LoggedCommand] = field(default_factory=list)
+
+    def add(self, command: LoggedCommand) -> None:
+        self.commands.append(command)
+
+    def sorted_by_time(self) -> List[LoggedCommand]:
+        return sorted(self.commands, key=lambda c: c.time)
+
+    def per_bank(self) -> Dict[Tuple[int, int], List[LoggedCommand]]:
+        banks: Dict[Tuple[int, int], List[LoggedCommand]] = {}
+        for command in self.sorted_by_time():
+            if command.cmd is Cmd.REFRESH:
+                continue
+            banks.setdefault((command.rank, command.bank), []).append(command)
+        return banks
+
+    def per_rank_acts(self) -> Dict[int, List[float]]:
+        ranks: Dict[int, List[float]] = {}
+        for command in self.sorted_by_time():
+            if command.cmd is Cmd.ACT:
+                ranks.setdefault(command.rank, []).append(command.time)
+        return ranks
+
+
+@dataclass
+class Violation:
+    """One detected timing violation."""
+
+    constraint: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{self.constraint}: {self.detail}"
+
+
+EPS = 1e-6
+
+
+def validate_log(log: CommandLog, timing: DDR3Timing) -> List[Violation]:
+    """Check every JEDEC constraint the simulator claims to honour."""
+    violations: List[Violation] = []
+    violations.extend(_check_bank_constraints(log, timing))
+    violations.extend(_check_rank_constraints(log, timing))
+    violations.extend(_check_bus_exclusivity(log))
+    return violations
+
+
+def _check_bank_constraints(
+    log: CommandLog, t: DDR3Timing
+) -> List[Violation]:
+    out: List[Violation] = []
+    for (rank, bank), commands in log.per_bank().items():
+        last_act: Optional[LoggedCommand] = None
+        open_row: int = -1
+        for command in commands:
+            if command.cmd is Cmd.ACT:
+                if last_act is not None:
+                    gap = command.time - last_act.time
+                    if gap < t.tRC - EPS:
+                        out.append(Violation(
+                            "tRC",
+                            f"rank {rank} bank {bank}: ACT-to-ACT gap "
+                            f"{gap:.1f} < {t.tRC}",
+                        ))
+                    if gap < t.tRAS + t.tRP - EPS:
+                        out.append(Violation(
+                            "tRAS+tRP",
+                            f"rank {rank} bank {bank}: row open only "
+                            f"{gap:.1f} cycles",
+                        ))
+                last_act = command
+                open_row = command.row
+            else:  # READ / WRITE
+                if last_act is None or open_row != command.row:
+                    out.append(Violation(
+                        "row-open",
+                        f"rank {rank} bank {bank}: CAS to row "
+                        f"{command.row} without matching ACT",
+                    ))
+                    continue
+                if command.time - last_act.time < t.tRCD - EPS:
+                    out.append(Violation(
+                        "tRCD",
+                        f"rank {rank} bank {bank}: CAS "
+                        f"{command.time - last_act.time:.1f} after ACT",
+                    ))
+                latency = t.tCAS if command.cmd is Cmd.READ else t.tCWD
+                expected = command.time + latency
+                if abs(command.data_start - expected) > 0.5:
+                    out.append(Violation(
+                        "CL/CWL",
+                        f"rank {rank} bank {bank}: data at "
+                        f"{command.data_start:.1f}, CAS+{latency} is "
+                        f"{expected:.1f}",
+                    ))
+    return out
+
+
+def _check_rank_constraints(log: CommandLog, t: DDR3Timing) -> List[Violation]:
+    out: List[Violation] = []
+    for rank, act_times in log.per_rank_acts().items():
+        for earlier, later in zip(act_times, act_times[1:]):
+            if later - earlier < t.tRRD - EPS:
+                out.append(Violation(
+                    "tRRD",
+                    f"rank {rank}: ACTs {earlier:.1f} and {later:.1f}",
+                ))
+        for i in range(len(act_times) - 4):
+            window = act_times[i + 4] - act_times[i]
+            if window < t.tFAW - EPS:
+                out.append(Violation(
+                    "tFAW",
+                    f"rank {rank}: 5 ACTs within {window:.1f} cycles",
+                ))
+    return out
+
+
+def _check_bus_exclusivity(log: CommandLog) -> List[Violation]:
+    out: List[Violation] = []
+    bursts = [
+        c for c in log.sorted_by_time()
+        if c.cmd in (Cmd.READ, Cmd.WRITE)
+    ]
+    bursts.sort(key=lambda c: c.data_start)
+    for a, b in zip(bursts, bursts[1:]):
+        if b.data_start < a.data_end - EPS:
+            out.append(Violation(
+                "data-bus",
+                f"bursts overlap: [{a.data_start:.1f},{a.data_end:.1f}) "
+                f"and [{b.data_start:.1f},{b.data_end:.1f})",
+            ))
+    return out

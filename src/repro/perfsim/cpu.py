@@ -1,0 +1,150 @@
+"""The USIMM-style multi-core front-end: an ROB-windowed trace replayer.
+
+USIMM's processor model is deliberately simple and so is this one: each
+core retires up to ``retire_width`` instructions per CPU cycle in
+order; a memory read blocks retirement when it reaches the head of the
+reorder buffer until its data returns; instructions enter the ROB at
+the fetch rate, so a read can only be *issued* to memory once the
+instruction ``rob_size`` positions before it has retired.  That window
+is what creates memory-level parallelism -- and what the paper's
+rank-parallelism-halving schemes choke.
+
+The model is event-driven rather than cycle-stepped: retirement
+progress between memory completions is linear (retire_width per
+cycle), so it is tracked with an anchored (position, time) pair that
+only updates when a read completes.  Times are memory-bus cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, Optional
+
+from repro.perfsim.trace import TraceOp
+
+
+@dataclass
+class OutstandingRead:
+    """A read in flight: trace position plus completion time when known."""
+
+    position: int
+    done: Optional[float] = None
+
+
+class Core:
+    """One core's architectural state during simulation.
+
+    Parameters
+    ----------
+    core_id:
+        Index of the core.
+    ops:
+        Iterator of :class:`TraceOp` (the synthetic trace).
+    total_instructions:
+        Length of the instruction stream (for final retirement).
+    rob_size:
+        Reorder-buffer capacity (Table V: 160).
+    instructions_per_bus_cycle:
+        Retire/fetch bandwidth expressed in bus-cycle time: 4-wide at a
+        4:1 clock ratio = 16 instructions per memory-bus cycle.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        ops: Iterator[TraceOp],
+        total_instructions: int,
+        rob_size: int,
+        instructions_per_bus_cycle: float,
+    ) -> None:
+        self.core_id = core_id
+        self.ops = ops
+        self.total_instructions = total_instructions
+        self.rob_size = rob_size
+        self.rate = instructions_per_bus_cycle
+        self.current: Optional[TraceOp] = None
+        self.trace_done = False
+        self.outstanding: Deque[OutstandingRead] = deque()
+        self._by_pos: Dict[int, OutstandingRead] = {}
+        # Retirement anchor: instruction retire_base_pos retired at
+        # retire_base_time; retirement is linear after it until the next
+        # outstanding read.
+        self.retire_base_pos = 0
+        self.retire_base_time = 0.0
+        # Front-end progress (fetch) anchor.
+        self.front_pos = 0
+        self.front_time = 0.0
+        self.blocked_window = False
+        self.blocked_write_queue = False
+        self.finish_time: Optional[float] = None
+
+    # -- trace cursor --------------------------------------------------------
+
+    def peek(self) -> Optional[TraceOp]:
+        """The next memory operation, or None when the trace is drained."""
+        if self.current is None and not self.trace_done:
+            try:
+                self.current = next(self.ops)
+            except StopIteration:
+                self.trace_done = True
+        return self.current
+
+    def consume(self) -> None:
+        self.current = None
+
+    # -- the ROB window ---------------------------------------------------------
+
+    def window_ready_time(self, position: int) -> Optional[float]:
+        """When instruction ``position`` can enter the ROB.
+
+        Requires instruction ``position - rob_size`` to have retired.
+        Returns None when an incomplete read blocks that retirement (the
+        core must wait for a completion event).
+        """
+        wpos = position - self.rob_size
+        if wpos <= self.retire_base_pos:
+            return 0.0
+        if self.outstanding and self.outstanding[0].position <= wpos:
+            return None
+        return self.retire_base_time + (wpos - self.retire_base_pos) / self.rate
+
+    def fetch_ready_time(self, position: int) -> float:
+        """Front-end constraint: fetch bandwidth from the last issue."""
+        return self.front_time + (position - self.front_pos) / self.rate
+
+    def record_issue(self, op: TraceOp, t: float) -> None:
+        self.front_pos = op.position
+        self.front_time = t
+
+    def track_read(self, position: int) -> None:
+        entry = OutstandingRead(position)
+        self.outstanding.append(entry)
+        self._by_pos[position] = entry
+
+    # -- completions ----------------------------------------------------------
+
+    def on_read_done(self, position: int, t: float) -> None:
+        """Mark a read complete and advance in-order retirement."""
+        entry = self._by_pos.pop(position)
+        entry.done = t
+        while self.outstanding and self.outstanding[0].done is not None:
+            head = self.outstanding.popleft()
+            linear = (
+                self.retire_base_time
+                + (head.position - self.retire_base_pos) / self.rate
+            )
+            self.retire_base_time = max(head.done, linear)
+            self.retire_base_pos = head.position
+
+    def try_finish(self) -> Optional[float]:
+        """Final retirement time once the trace and reads have drained."""
+        if self.finish_time is not None:
+            return self.finish_time
+        if not self.trace_done or self.current is not None or self.outstanding:
+            return None
+        self.finish_time = (
+            self.retire_base_time
+            + (self.total_instructions - self.retire_base_pos) / self.rate
+        )
+        return self.finish_time

@@ -1,0 +1,304 @@
+"""Per-channel DRAM state machine with FR-FCFS scheduling.
+
+Models one (logical) DDR3 channel: per-bank row state and timing
+(tRCD/tRP/tRAS/tRTP/tWR/tCCD), per-rank activate throttling (tRRD,
+tFAW), write-to-read turnaround (tWTR), rank-to-rank bus switches
+(tRTRS), periodic refresh (tREFI/tRFC), a shared data bus, and the
+USIMM-style controller policy: FR-FCFS with read priority and
+hysteresis-driven write-queue draining.
+
+Lockstep operation (Chipkill's ganged ranks, Double-Chipkill's ganged
+channels) is modelled by construction: the engine instantiates
+``channels / lockstep_channels`` logical channels, each with
+``ranks / lockstep_ranks`` logical ranks, and every access holds the
+data bus for ``burst_cycles * overfetch`` cycles while issuing
+``lockstep_ranks * lockstep_channels`` physical activates -- exactly the
+parallelism loss and overfetch Section XI attributes the overheads to.
+
+All times are in memory-bus cycles (floats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+from repro.perfsim.configs import SchemeConfig
+from repro.perfsim.requests import MemoryRequest, RequestType
+from repro.perfsim.timing import DDR3Timing, SystemTiming
+
+NEG_INF = float("-inf")
+
+
+@dataclass
+class BankState:
+    """Row-buffer and timing state of one bank."""
+
+    open_row: Optional[int] = None
+    act_ready: float = 0.0   # earliest next ACT
+    cas_ready: float = 0.0   # earliest next CAS to the open row
+    pre_ready: float = 0.0   # earliest next PRE
+    last_act: float = NEG_INF
+
+
+@dataclass
+class RankState:
+    """Per-rank constraints shared by its banks."""
+
+    banks: List[BankState]
+    act_history: Deque[float] = field(default_factory=deque)  # for tFAW
+    last_act: float = NEG_INF                                 # for tRRD
+    wtr_ready: float = 0.0    # earliest read CAS after a write burst
+    next_refresh: float = 0.0
+
+    def faw_ready(self, timing: DDR3Timing) -> float:
+        if len(self.act_history) < 4:
+            return 0.0
+        return self.act_history[0] + timing.tFAW
+
+    def record_act(self, t: float) -> None:
+        self.last_act = t
+        self.act_history.append(t)
+        if len(self.act_history) > 4:
+            self.act_history.popleft()
+
+
+@dataclass
+class ChannelStats:
+    """Activity counters feeding the power model."""
+
+    activates: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    read_bursts: int = 0
+    write_bursts: int = 0
+    bus_busy_cycles: float = 0.0
+    refreshes: int = 0
+    reads_served: int = 0
+    writes_served: int = 0
+    sum_read_latency: float = 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def mean_read_latency(self) -> float:
+        return (
+            self.sum_read_latency / self.reads_served if self.reads_served else 0.0
+        )
+
+
+class Channel:
+    """One logical memory channel under a scheme config."""
+
+    #: FR-FCFS scans at most this many queued requests per decision
+    #: (USIMM scans the whole queue; capping keeps Python tractable and
+    #: is transparent at the queue depths these workloads reach).
+    SCAN_DEPTH = 24
+    #: Do not commit bus reservations further ahead than this.
+    HORIZON = 24.0
+
+    def __init__(
+        self,
+        system: SystemTiming,
+        config: SchemeConfig,
+        logical_ranks: int,
+    ) -> None:
+        self.system = system
+        self.t = system.ddr
+        self.config = config
+        self.ranks = [
+            RankState(banks=[BankState() for _ in range(system.banks_per_rank)])
+        for _ in range(logical_ranks)]
+        # Stagger refresh across ranks.
+        for i, rank in enumerate(self.ranks):
+            rank.next_refresh = (i + 1) * self.t.tREFI / max(1, len(self.ranks))
+        self.read_q: Deque[MemoryRequest] = deque()
+        self.write_q: Deque[MemoryRequest] = deque()
+        self.draining = False
+        self.bus_free = 0.0
+        self.last_bus_rank = -1
+        self.stats = ChannelStats()
+        #: Optional JEDEC-lint command log (see perfsim.command_log).
+        self.command_log = None
+        #: Physical resources this logical channel stands for.
+        self.physical_scale = config.lockstep_ranks * config.lockstep_channels
+
+    # -- queue interface -----------------------------------------------------
+
+    @property
+    def write_queue_full(self) -> bool:
+        return len(self.write_q) >= self.system.write_queue_capacity
+
+    def push(self, req: MemoryRequest) -> None:
+        if req.req_type is RequestType.READ:
+            self.read_q.append(req)
+        else:
+            self.write_q.append(req)
+
+    @property
+    def idle(self) -> bool:
+        return not self.read_q and not self.write_q
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _select_queue(self) -> Optional[Deque[MemoryRequest]]:
+        wq = len(self.write_q)
+        if self.draining:
+            if wq <= self.system.write_drain_low:
+                self.draining = False
+            else:
+                return self.write_q
+        if wq >= self.system.write_drain_high:
+            self.draining = True
+            return self.write_q
+        if self.read_q:
+            return self.read_q
+        return self.write_q if self.write_q else None
+
+    def _select_request(self, queue: Deque[MemoryRequest]) -> MemoryRequest:
+        """FR-FCFS: oldest row hit, else oldest request (or plain FCFS)."""
+        if self.system.scheduler == "frfcfs":
+            depth = min(len(queue), self.SCAN_DEPTH)
+            for i in range(depth):
+                req = queue[i]
+                bank = self.ranks[req.rank].banks[req.bank]
+                if bank.open_row == req.row:
+                    del queue[i]
+                    return req
+        return queue.popleft()
+
+    def enable_command_log(self):
+        """Attach a command log for post-hoc JEDEC validation."""
+        from repro.perfsim.command_log import CommandLog
+
+        self.command_log = CommandLog()
+        return self.command_log
+
+    def _log(self, cmd, time, rank, bank, row=-1, data_start=0.0, data_end=0.0):
+        if self.command_log is not None:
+            from repro.perfsim.command_log import LoggedCommand
+
+            self.command_log.add(
+                LoggedCommand(cmd, time, rank, bank, row, data_start, data_end)
+            )
+
+    def _maybe_refresh(self, rank_idx: int, now: float) -> None:
+        rank = self.ranks[rank_idx]
+        while now >= rank.next_refresh:
+            start = rank.next_refresh
+            end = start + self.t.tRFC
+            for bank in rank.banks:
+                bank.open_row = None
+                bank.act_ready = max(bank.act_ready, end)
+            rank.next_refresh += self.t.tREFI
+            self.stats.refreshes += 1
+            if self.command_log is not None:
+                from repro.perfsim.command_log import Cmd
+
+                self._log(Cmd.REFRESH, start, rank_idx, -1)
+
+    def pump(self, now: float) -> Tuple[List[Tuple[MemoryRequest, float]], Optional[float]]:
+        """Issue requests until the bus horizon; return completions.
+
+        Returns ``(completed, wake_time)`` where ``completed`` pairs
+        each issued request with its data-completion time (bus cycles)
+        and ``wake_time`` (if set) is when the caller should pump again
+        because the bus is reserved too far ahead.
+        """
+        completed: List[Tuple[MemoryRequest, float]] = []
+        while True:
+            if self.bus_free > now + self.HORIZON:
+                return completed, self.bus_free - self.HORIZON
+            queue = self._select_queue()
+            if queue is None:
+                return completed, None
+            req = self._select_request(queue)
+            done = self._issue(req, now)
+            completed.append((req, done))
+
+    # -- the DRAM command walk ---------------------------------------------------
+
+    def _issue(self, req: MemoryRequest, now: float) -> float:
+        """Walk one request through PRE/ACT/CAS and reserve the bus."""
+        t = self.t
+        self._maybe_refresh(req.rank, now)
+        rank = self.ranks[req.rank]
+        bank = rank.banks[req.bank]
+        is_read = req.req_type is RequestType.READ
+
+        start = max(now, req.arrival)
+        act_at = None
+        if bank.open_row == req.row:
+            self.stats.row_hits += 1
+            cas_min = max(start, bank.cas_ready)
+        else:
+            if bank.open_row is None:
+                self.stats.row_misses += 1
+                act_at = max(start, bank.act_ready)
+            else:
+                self.stats.row_conflicts += 1
+                pre_at = max(start, bank.pre_ready)
+                act_at = max(pre_at + t.tRP, bank.act_ready)
+            act_at = max(act_at, rank.last_act + t.tRRD, rank.faw_ready(t))
+            rank.record_act(act_at)
+            self.stats.activates += self.physical_scale
+            bank.open_row = req.row
+            bank.last_act = act_at
+            bank.pre_ready = act_at + t.tRAS
+            cas_min = act_at + t.tRCD
+
+        if is_read:
+            cas_min = max(cas_min, rank.wtr_ready)
+            data_lat = t.tCAS
+        else:
+            data_lat = t.tCWD
+
+        # Data-bus reservation (the overfetched burst occupies the bus
+        # for burst_cycles * overfetch).
+        burst = float(self.config.bus_cycles_per_access)
+        switch = t.tRTRS if self.last_bus_rank not in (-1, req.rank) else 0
+        data_start = max(cas_min + data_lat, self.bus_free + switch)
+        cas_at = data_start - data_lat
+        data_end = data_start + burst
+
+        self.bus_free = data_end
+        self.last_bus_rank = req.rank
+        self.stats.bus_busy_cycles += burst
+        bank.cas_ready = cas_at + t.tCCD
+
+        if is_read:
+            bank.pre_ready = max(bank.pre_ready, cas_at + t.tRTP)
+            self.stats.read_bursts += 1
+            self.stats.reads_served += 1
+            self.stats.sum_read_latency += data_end - req.arrival
+        else:
+            bank.pre_ready = max(bank.pre_ready, data_end + t.tWR)
+            rank.wtr_ready = max(rank.wtr_ready, data_end + t.tWTR)
+            self.stats.write_bursts += 1
+            self.stats.writes_served += 1
+
+        if self.system.page_policy == "closed":
+            # Auto-precharge: the row closes as soon as the bank's
+            # precharge constraints allow; the next access pays tRP.
+            bank.open_row = None
+            bank.act_ready = max(bank.act_ready, bank.pre_ready + t.tRP)
+
+        if self.command_log is not None:
+            from repro.perfsim.command_log import Cmd
+
+            if act_at is not None:
+                self._log(Cmd.ACT, act_at, req.rank, req.bank, req.row)
+            self._log(
+                Cmd.READ if is_read else Cmd.WRITE,
+                cas_at, req.rank, req.bank, req.row,
+                data_start, data_end,
+            )
+
+        req.issue_time = cas_at
+        req.completion_time = data_end
+        return data_end

@@ -1,0 +1,357 @@
+"""Discrete-event co-simulation of cores and memory channels.
+
+Glues the :class:`~repro.perfsim.cpu.Core` front-ends to the
+:class:`~repro.perfsim.dramsys.Channel` state machines through a single
+event heap.  Three event kinds exist:
+
+* ``CORE`` -- a core can try to advance its trace cursor;
+* ``CHAN`` -- a channel scheduler should pump its queues;
+* ``DONE`` -- a read's data (including any companion transactions)
+  reached the core, unblocking retirement.
+
+Scheme-induced companion traffic is generated here: the
+extra-transaction ECC fetch per read (Figure 13), LOT-ECC's
+checksum-update writes (Figure 14), and XED's rare serial-mode re-read
+(Section VII-B, with its MRS round-trip penalty).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perfsim.configs import SchemeConfig
+from repro.perfsim.cpu import Core
+from repro.perfsim.dramsys import Channel, ChannelStats
+from repro.perfsim.requests import MemoryRequest, RequestType
+from repro.perfsim.timing import SystemTiming
+from repro.perfsim.trace import SyntheticTrace, TraceOp
+from repro.perfsim.workloads import Workload
+
+#: Bus-cycle penalty for a serial-mode episode: MRS write to clear
+#: XED-Enable, re-read, MRS write to restore (a few hundred ns).
+SERIAL_MODE_PENALTY_BUS_CYCLES = 100.0
+
+_CORE, _CHAN, _DONE = 0, 1, 2
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one (workload, scheme) simulation."""
+
+    workload: str
+    scheme_key: str
+    num_cores: int
+    instructions_per_core: int
+    exec_bus_cycles: float
+    channel_stats: ChannelStats
+    reads: int
+    writes: int
+    companion_reads: int
+    companion_writes: int
+    serial_mode_entries: int
+    core_finish_times: List[float] = field(default_factory=list)
+    #: Bus cycle time of the simulated standard (1.25 ns for DDR3-1600).
+    bus_cycle_ns: float = 1.25
+
+    @property
+    def total_instructions(self) -> int:
+        return self.num_cores * self.instructions_per_core
+
+    @property
+    def exec_seconds(self) -> float:
+        return self.exec_bus_cycles * self.bus_cycle_ns * 1e-9
+
+    @property
+    def ipc(self) -> float:
+        cpu_cycles = self.exec_bus_cycles * 4.0
+        return self.total_instructions / cpu_cycles if cpu_cycles else 0.0
+
+    def normalized_time(self, baseline: "SimulationResult") -> float:
+        return self.exec_bus_cycles / baseline.exec_bus_cycles
+
+
+class _Engine:
+    def __init__(
+        self,
+        workload,  # one Workload (rate mode) or a per-core sequence (mix)
+        config: SchemeConfig,
+        system: SystemTiming,
+        instructions_per_core: int,
+        seed: int,
+    ) -> None:
+        if isinstance(workload, Workload):
+            per_core = [workload] * system.num_cores
+            self.workload_name = workload.name
+        else:
+            per_core = list(workload)
+            if len(per_core) != system.num_cores:
+                raise ValueError(
+                    f"mixed mode needs {system.num_cores} workloads, "
+                    f"got {len(per_core)}"
+                )
+            self.workload_name = "mix(" + ",".join(w.name for w in per_core) + ")"
+        self.per_core_workloads = per_core
+        self.config = config
+        self.system = system
+        self.instructions = instructions_per_core
+        self.seed = seed
+
+        self.logical_channels = max(1, system.channels // config.lockstep_channels)
+        self.logical_ranks = max(
+            1, system.ranks_per_channel // config.lockstep_ranks
+        )
+        self.channels = [
+            Channel(system, config, self.logical_ranks)
+            for _ in range(self.logical_channels)
+        ]
+        rate = system.retire_width * system.cpu_cycles_per_bus_cycle
+        self.cores = []
+        for core_id in range(system.num_cores):
+            trace = SyntheticTrace(
+                per_core[core_id],
+                instructions_per_core,
+                self.logical_channels,
+                self.logical_ranks,
+                system.banks_per_rank,
+                system.rows_per_bank,
+                system.columns_per_row,
+                core=core_id,
+                seed=seed,
+            )
+            self.cores.append(
+                Core(core_id, iter(trace), instructions_per_core, system.rob_size, rate)
+            )
+
+        self.heap: List[Tuple[float, int, int, int]] = []
+        self._seq = 0
+        self._chan_scheduled = [False] * self.logical_channels
+        self._wq_waiters: List[List[int]] = [[] for _ in range(self.logical_channels)]
+        # (core, pos) -> [remaining parts, latest completion]
+        self._pending: Dict[Tuple[int, int], List[float]] = {}
+        self._rng = random.Random(seed ^ 0xC0FFEE)
+        self.companion_reads = 0
+        self.companion_writes = 0
+        self.serial_entries = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _post(self, t: float, kind: int, payload: int) -> None:
+        self._seq += 1
+        heapq.heappush(self.heap, (t, self._seq, kind, payload))
+
+    def _kick_channel(self, idx: int, t: float) -> None:
+        if not self._chan_scheduled[idx]:
+            self._chan_scheduled[idx] = True
+            self._post(t, _CHAN, idx)
+
+    # -- request generation -------------------------------------------------------
+
+    def _make_request(
+        self, op: TraceOp, core_id: int, arrival: float, companion: bool,
+        column_offset: int = 0,
+    ) -> MemoryRequest:
+        column = (op.column + column_offset) % self.system.columns_per_row
+        return MemoryRequest(
+            req_type=op.req_type if not companion else RequestType.READ,
+            core=core_id,
+            channel=op.channel,
+            rank=op.rank,
+            bank=op.bank,
+            row=op.row,
+            column=column,
+            arrival=arrival,
+            instruction_pos=op.position,
+            companion=companion,
+        )
+
+    def _issue_read(self, core: Core, op: TraceOp, t: float) -> None:
+        self.reads += 1
+        parts = 1
+        penalty = 0.0
+        companions: List[MemoryRequest] = []
+        if self.config.extra_read_fraction > 0.0 and (
+            self.config.extra_read_fraction >= 1.0
+            or self._rng.random() < self.config.extra_read_fraction
+        ):
+            companions.append(self._make_request(op, core.core_id, t, True, 1))
+            self.companion_reads += 1
+        if (
+            self.config.serial_mode_rate > 0.0
+            and self._rng.random() < self.config.serial_mode_rate
+        ):
+            # Serial-mode recovery: a second (serialised) read plus the
+            # MRS round trip.
+            companions.append(self._make_request(op, core.core_id, t, True, 0))
+            penalty = SERIAL_MODE_PENALTY_BUS_CYCLES
+            self.serial_entries += 1
+        parts += len(companions)
+        self._pending[(core.core_id, op.position)] = [float(parts), 0.0, penalty]
+        core.track_read(op.position)
+        demand = self._make_request(op, core.core_id, t, False)
+        channel = self.channels[op.channel]
+        channel.push(demand)
+        for comp in companions:
+            channel.push(comp)
+
+    def _issue_write(self, core: Core, op: TraceOp, t: float) -> None:
+        self.writes += 1
+        channel = self.channels[op.channel]
+        channel.push(self._make_request(op, core.core_id, t, False))
+        if self.config.extra_write_fraction > 0.0 and (
+            self.config.extra_write_fraction >= 1.0
+            or self._rng.random() < self.config.extra_write_fraction
+        ):
+            # LOT-ECC-style checksum update: a write to the same row.
+            channel.push(self._make_request(op, core.core_id, t, True, 1))
+            self.companion_writes += 1
+
+    # -- core advancement ------------------------------------------------------------
+
+    def _advance_core(self, core: Core, now: float) -> None:
+        core.blocked_window = False
+        core.blocked_write_queue = False
+        touched_channels = set()
+        while True:
+            op = core.peek()
+            if op is None:
+                core.try_finish()
+                break
+            window_t = core.window_ready_time(op.position)
+            if window_t is None:
+                core.blocked_window = True
+                break
+            ready = max(window_t, core.fetch_ready_time(op.position))
+            if ready > now:
+                self._post(ready, _CORE, core.core_id)
+                break
+            if op.req_type is RequestType.WRITE:
+                channel = self.channels[op.channel]
+                if channel.write_queue_full:
+                    core.blocked_write_queue = True
+                    self._wq_waiters[op.channel].append(core.core_id)
+                    break
+                self._issue_write(core, op, ready)
+            else:
+                self._issue_read(core, op, ready)
+            touched_channels.add(op.channel)
+            core.record_issue(op, ready)
+            core.consume()
+        for idx in touched_channels:
+            self._kick_channel(idx, now)
+
+    # -- channel pumping ---------------------------------------------------------------
+
+    def _pump_channel(self, idx: int, now: float) -> None:
+        self._chan_scheduled[idx] = False
+        channel = self.channels[idx]
+        completed, wake = channel.pump(now)
+        for req, done in completed:
+            if req.req_type is RequestType.READ:
+                self._read_part_done(req, done)
+        # Write-queue space may have opened.
+        if self._wq_waiters[idx] and not channel.write_queue_full:
+            waiters, self._wq_waiters[idx] = self._wq_waiters[idx], []
+            for core_id in waiters:
+                self._post(now, _CORE, core_id)
+        if wake is not None and not channel.idle:
+            self._kick_channel(idx, wake)
+
+    def _read_part_done(self, req: MemoryRequest, done: float) -> None:
+        key = (req.core, req.instruction_pos)
+        entry = self._pending.get(key)
+        if entry is None:
+            return
+        entry[0] -= 1.0
+        entry[1] = max(entry[1], done)
+        if entry[0] <= 0.0:
+            del self._pending[key]
+            self._post(entry[1] + entry[2], _DONE, self._encode_done(req))
+
+    def _encode_done(self, req: MemoryRequest) -> int:
+        return req.core * (1 << 40) + req.instruction_pos
+
+    def _decode_done(self, payload: int) -> Tuple[int, int]:
+        return payload >> 40, payload & ((1 << 40) - 1)
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        for core in self.cores:
+            self._post(0.0, _CORE, core.core_id)
+        heap = self.heap
+        while heap:
+            t, _, kind, payload = heapq.heappop(heap)
+            if kind == _CORE:
+                self._advance_core(self.cores[payload], t)
+            elif kind == _CHAN:
+                self._pump_channel(payload, t)
+            else:
+                core_id, pos = self._decode_done(payload)
+                core = self.cores[core_id]
+                core.on_read_done(pos, t)
+                self._advance_core(core, t)
+
+        finish_times = []
+        for core in self.cores:
+            finish = core.try_finish()
+            if finish is None:  # pragma: no cover - simulation invariant
+                raise RuntimeError(
+                    f"core {core.core_id} never finished "
+                    f"(outstanding={len(core.outstanding)})"
+                )
+            finish_times.append(finish)
+
+        merged = ChannelStats()
+        for channel in self.channels:
+            s = channel.stats
+            merged.activates += s.activates
+            merged.row_hits += s.row_hits
+            merged.row_misses += s.row_misses
+            merged.row_conflicts += s.row_conflicts
+            merged.read_bursts += s.read_bursts
+            merged.write_bursts += s.write_bursts
+            merged.bus_busy_cycles += s.bus_busy_cycles
+            merged.refreshes += s.refreshes
+            merged.reads_served += s.reads_served
+            merged.writes_served += s.writes_served
+            merged.sum_read_latency += s.sum_read_latency
+
+        return SimulationResult(
+            workload=self.workload_name,
+            scheme_key=self.config.key,
+            num_cores=self.system.num_cores,
+            instructions_per_core=self.instructions,
+            exec_bus_cycles=max(finish_times),
+            channel_stats=merged,
+            reads=self.reads,
+            writes=self.writes,
+            companion_reads=self.companion_reads,
+            companion_writes=self.companion_writes,
+            serial_mode_entries=self.serial_entries,
+            core_finish_times=finish_times,
+            bus_cycle_ns=self.system.ddr.tCK_ns,
+        )
+
+
+def simulate_system(
+    workload,
+    config: SchemeConfig,
+    system: Optional[SystemTiming] = None,
+    instructions_per_core: int = 200_000,
+    seed: int = 2016,
+) -> SimulationResult:
+    """Run a workload under one scheme config.
+
+    Pass a single :class:`Workload` for the paper's rate-mode
+    methodology (all cores execute the same benchmark) or a sequence of
+    ``num_cores`` workloads for a multiprogrammed mix.  Execution time
+    is when the slowest core retires its last instruction.
+    """
+    system = system or SystemTiming()
+    engine = _Engine(workload, config, system, instructions_per_core, seed)
+    return engine.run()

@@ -1,0 +1,137 @@
+"""Experiment driver for the performance/power figures (11-14).
+
+Runs (workload, scheme) grids, normalises against the ECC-DIMM
+baseline, and formats the per-benchmark / geometric-mean tables the
+paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.perfsim.configs import SCHEME_CONFIGS, SchemeConfig
+from repro.perfsim.engine import SimulationResult, simulate_system
+from repro.perfsim.power import PowerBreakdown, PowerModel
+from repro.perfsim.timing import SystemTiming
+from repro.perfsim.workloads import WORKLOADS, Workload, workload_by_name
+
+
+@dataclass
+class BenchmarkRun:
+    """One workload under one scheme, with derived power."""
+
+    workload: str
+    scheme_key: str
+    result: SimulationResult
+    power: PowerBreakdown
+
+    @property
+    def exec_bus_cycles(self) -> float:
+        return self.result.exec_bus_cycles
+
+
+def run_benchmark(
+    workload: Workload | str,
+    config: SchemeConfig | str,
+    system: Optional[SystemTiming] = None,
+    instructions_per_core: int = 200_000,
+    seed: int = 2016,
+    power_model: Optional[PowerModel] = None,
+) -> BenchmarkRun:
+    """Simulate one (workload, scheme) pair and compute its power."""
+    if isinstance(workload, str):
+        workload = workload_by_name(workload)
+    if isinstance(config, str):
+        config = SCHEME_CONFIGS[config]
+    system = system or SystemTiming()
+    result = simulate_system(
+        workload, config, system, instructions_per_core, seed
+    )
+    model = power_model or PowerModel(timing=system.ddr)
+    power = model.compute(result, config)
+    return BenchmarkRun(workload.name, config.key, result, power)
+
+
+def run_suite(
+    scheme_keys: Sequence[str],
+    workloads: Optional[Iterable[Workload]] = None,
+    instructions_per_core: int = 200_000,
+    seed: int = 2016,
+    system: Optional[SystemTiming] = None,
+) -> Dict[str, Dict[str, BenchmarkRun]]:
+    """Run a grid: {workload: {scheme_key: BenchmarkRun}}."""
+    workloads = list(workloads) if workloads is not None else WORKLOADS
+    grid: Dict[str, Dict[str, BenchmarkRun]] = {}
+    for workload in workloads:
+        row: Dict[str, BenchmarkRun] = {}
+        for key in scheme_keys:
+            row[key] = run_benchmark(
+                workload,
+                key,
+                system=system,
+                instructions_per_core=instructions_per_core,
+                seed=seed,
+            )
+        grid[workload.name] = row
+    return grid
+
+
+def normalized_metric(
+    grid: Dict[str, Dict[str, BenchmarkRun]],
+    scheme_key: str,
+    baseline_key: str = "ecc_dimm",
+    metric: str = "time",
+) -> Dict[str, float]:
+    """Per-workload metric normalised to the baseline scheme.
+
+    ``metric`` is ``"time"`` (Figure 11/13/14) or ``"power"``
+    (Figure 12/13).
+    """
+    out: Dict[str, float] = {}
+    for name, row in grid.items():
+        base = row[baseline_key]
+        run = row[scheme_key]
+        if metric == "time":
+            out[name] = run.exec_bus_cycles / base.exec_bus_cycles
+        elif metric == "power":
+            out[name] = run.power.total / base.power.total
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_figure_table(
+    grid: Dict[str, Dict[str, BenchmarkRun]],
+    scheme_keys: Sequence[str],
+    metric: str = "time",
+    baseline_key: str = "ecc_dimm",
+    title: str = "Normalized Execution Time",
+) -> str:
+    """Render a Figure-11/12-style table: workloads x schemes + Gmean."""
+    per_scheme: Dict[str, Dict[str, float]] = {
+        key: normalized_metric(grid, key, baseline_key, metric)
+        for key in scheme_keys
+    }
+    names = list(grid.keys())
+    header = f"{title} (baseline: {SCHEME_CONFIGS[baseline_key].name})"
+    col_heads = " | ".join(f"{SCHEME_CONFIGS[k].name[:26]:>26}" for k in scheme_keys)
+    lines = [header, f"{'benchmark':>12} | {col_heads}"]
+    for name in names:
+        cells = " | ".join(
+            f"{per_scheme[key][name]:26.3f}" for key in scheme_keys
+        )
+        lines.append(f"{name:>12} | {cells}")
+    gmeans = " | ".join(
+        f"{geometric_mean(per_scheme[key].values()):26.3f}" for key in scheme_keys
+    )
+    lines.append(f"{'Gmean':>12} | {gmeans}")
+    return "\n".join(lines)

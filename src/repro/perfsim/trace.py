@@ -1,0 +1,136 @@
+"""Synthetic memory-trace generation.
+
+A trace is the sequence a Pinpoint slice would provide USIMM: memory
+operations separated by counts of non-memory instructions.  The
+generator turns a :class:`repro.perfsim.workloads.Workload` behaviour
+model into a concrete per-core stream:
+
+* gaps between misses are geometric with mean ``1000 / mpki``;
+* with probability ``row_buffer_hit_rate`` the next access continues
+  sequentially within the currently open row (a row hit under an
+  open-page policy); otherwise it jumps to a fresh row;
+* jumps pick a new bank uniformly, except that ``bank_locality`` of
+  them stay on the current bank (pointer-chasing bank pressure);
+* ``write_fraction`` of operations are write-backs.
+
+Traces are deterministic in (workload, core, seed), so every scheme
+config replays *exactly* the same instruction stream -- the comparisons
+in Figures 11-14 are paired.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.perfsim.requests import RequestType
+from repro.perfsim.workloads import Workload
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One memory operation in a core's instruction stream.
+
+    ``position`` is the index of this operation in the core's committed
+    instruction stream (used by the ROB window model); the address is
+    pre-decomposed for the channel mapper.
+    """
+
+    position: int
+    req_type: RequestType
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class SyntheticTrace:
+    """Deterministic synthetic trace for one (workload, core) pair.
+
+    Parameters
+    ----------
+    workload:
+        The behaviour model.
+    instructions:
+        Length of the instruction stream to synthesise.
+    channels, ranks, banks, rows, columns:
+        Geometry the addresses are drawn over (logical values -- the
+        engine passes post-lockstep counts so traffic spreads over the
+        resources the scheme actually exposes).
+    core, seed:
+        Determinism knobs; different cores get decorrelated streams.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        instructions: int,
+        channels: int,
+        ranks: int,
+        banks: int,
+        rows: int,
+        columns: int,
+        core: int = 0,
+        seed: int = 2016,
+    ) -> None:
+        self.workload = workload
+        self.instructions = instructions
+        self.channels = channels
+        self.ranks = ranks
+        self.banks = banks
+        self.rows = rows
+        self.columns = columns
+        self.core = core
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        w = self.workload
+        # zlib.crc32 (not hash()) keeps traces identical across
+        # processes regardless of PYTHONHASHSEED.
+        name_salt = zlib.crc32(w.name.encode()) & 0xFFFF
+        rng = random.Random((self.seed << 16) ^ (self.core * 7919) ^ name_salt)
+        mean_gap = 1000.0 / w.mpki if w.mpki > 0 else float("inf")
+        p_op = 1.0 / (1.0 + mean_gap)
+
+        position = 0
+        channel = rng.randrange(self.channels)
+        rank = rng.randrange(self.ranks)
+        bank = rng.randrange(self.banks)
+        row = rng.randrange(self.rows)
+        column = rng.randrange(self.columns)
+
+        while position < self.instructions:
+            # Geometric gap to the next memory operation.
+            gap = int(rng.expovariate(1.0) * mean_gap) if mean_gap > 0 else 0
+            position += gap + 1
+            if position >= self.instructions:
+                return
+            if rng.random() < w.row_buffer_hit_rate and column + 1 < self.columns:
+                # Sequential advance within the open row: a row hit.
+                column += 1
+            else:
+                # Fresh row; possibly a fresh bank/rank/channel.
+                if rng.random() >= w.bank_locality:
+                    channel = rng.randrange(self.channels)
+                    rank = rng.randrange(self.ranks)
+                    bank = rng.randrange(self.banks)
+                row = rng.randrange(self.rows)
+                column = rng.randrange(self.columns)
+            req_type = (
+                RequestType.WRITE
+                if rng.random() < w.write_fraction
+                else RequestType.READ
+            )
+            yield TraceOp(position, req_type, channel, rank, bank, row, column)
+
+    def materialise(self, limit: Optional[int] = None) -> List[TraceOp]:
+        """Expand the trace into a list (tests and inspection)."""
+        ops = []
+        for i, op in enumerate(self):
+            if limit is not None and i >= limit:
+                break
+            ops.append(op)
+        return ops

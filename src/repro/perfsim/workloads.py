@@ -1,0 +1,124 @@
+"""The 31-benchmark roster of Section X with memory-behaviour models.
+
+The paper drives USIMM with Pinpoint slices of SPEC CPU2006, PARSEC,
+BioBench and five commercial traces, selecting benchmarks with more
+than 1 last-level-cache miss per 1000 instructions (MPKI).  Those trace
+files are proprietary; as documented in DESIGN.md we substitute each
+benchmark with a *synthetic trace generator* parameterised by the
+behaviour that actually determines memory-system sensitivity:
+
+* ``mpki`` -- LLC misses per kilo-instruction (traffic intensity);
+* ``row_buffer_hit_rate`` -- spatial locality seen at the DRAM row;
+* ``write_fraction`` -- share of traffic that is dirty write-backs;
+* ``bank_locality`` -- tendency of consecutive misses to pile onto few
+  banks (pointer-chasing codes) versus spreading evenly (streaming);
+* ``footprint_lines`` -- resident set, bounding row reuse.
+
+The parameter values are calibrated to the published memory character
+of each benchmark (e.g. libquantum: extreme streaming bandwidth, mcf:
+high-MPKI pointer chasing with poor row locality) so that the
+*relative* sensitivities of Figure 11/12 are reproduced; absolute IPCs
+are synthetic by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Synthetic memory-behaviour model of one benchmark."""
+
+    name: str
+    suite: str
+    mpki: float
+    row_buffer_hit_rate: float
+    write_fraction: float
+    bank_locality: float = 0.0
+    footprint_lines: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.mpki < 0:
+            raise ValueError("mpki must be non-negative")
+        if not 0.0 <= self.row_buffer_hit_rate <= 1.0:
+            raise ValueError("row_buffer_hit_rate must be a probability")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be a probability")
+
+
+def _w(
+    name: str,
+    suite: str,
+    mpki: float,
+    rbhr: float,
+    wf: float,
+    bank_loc: float = 0.0,
+) -> Workload:
+    return Workload(
+        name=name,
+        suite=suite,
+        mpki=mpki,
+        row_buffer_hit_rate=rbhr,
+        write_fraction=wf,
+        bank_locality=bank_loc,
+    )
+
+
+#: Figure 11's benchmark order: SPEC 2006, PARSEC, BioBench, commercial.
+WORKLOADS: List[Workload] = [
+    # -- SPEC CPU2006 (memory-intensive subset, MPKI > 1) ----------------
+    _w("bwaves", "SPEC", 11.0, 0.78, 0.22),
+    _w("libquantum", "SPEC", 25.0, 0.92, 0.25),   # pure streaming
+    _w("milc", "SPEC", 9.0, 0.55, 0.30),
+    _w("soplex", "SPEC", 12.0, 0.65, 0.25),
+    _w("lbm", "SPEC", 19.0, 0.80, 0.45),          # write-heavy stencil
+    _w("mcf", "SPEC", 35.0, 0.20, 0.22, 0.1),     # pointer chasing
+    _w("wrf", "SPEC", 4.0, 0.72, 0.30),
+    _w("cactusADM", "SPEC", 2.8, 0.60, 0.35),
+    _w("zeusmp", "SPEC", 3.2, 0.65, 0.30),
+    _w("bzip2", "SPEC", 2.0, 0.60, 0.30),
+    _w("dealII", "SPEC", 1.1, 0.70, 0.25),
+    _w("xalancbmk", "SPEC", 1.4, 0.40, 0.25, 0.3),
+    _w("omnetpp", "SPEC", 5.6, 0.30, 0.30, 0.4),
+    _w("leslie3d", "SPEC", 7.2, 0.72, 0.30),
+    _w("GemsFDTD", "SPEC", 9.6, 0.70, 0.30),
+    _w("sphinx", "SPEC", 6.4, 0.62, 0.15),
+    _w("gcc", "SPEC", 1.1, 0.50, 0.30),
+    # -- PARSEC -----------------------------------------------------------
+    _w("black", "PARSEC", 1.0, 0.60, 0.25),
+    _w("face", "PARSEC", 1.8, 0.65, 0.30),
+    _w("ferret", "PARSEC", 2.4, 0.55, 0.30),
+    _w("fluid", "PARSEC", 1.4, 0.60, 0.30),
+    _w("freq", "PARSEC", 1.0, 0.55, 0.30),
+    _w("stream", "PARSEC", 3.6, 0.75, 0.35),
+    _w("swapt", "PARSEC", 1.0, 0.55, 0.25),
+    # -- BioBench ----------------------------------------------------------
+    _w("mummer", "BIOBENCH", 10.4, 0.50, 0.20, 0.3),
+    _w("tigr", "BIOBENCH", 8.8, 0.48, 0.20, 0.3),
+    # -- Commercial (MSC traces) -------------------------------------------
+    _w("comm1", "COMMERCIAL", 3.6, 0.45, 0.35, 0.2),
+    _w("comm2", "COMMERCIAL", 3.0, 0.40, 0.35, 0.2),
+    _w("comm3", "COMMERCIAL", 2.4, 0.45, 0.30, 0.2),
+    _w("comm4", "COMMERCIAL", 1.8, 0.50, 0.30, 0.2),
+    _w("comm5", "COMMERCIAL", 1.4, 0.50, 0.30, 0.2),
+]
+
+_BY_NAME: Dict[str, Workload] = {w.name: w for w in WORKLOADS}
+
+#: Figure 11's x-axis grouping.
+SUITES: Tuple[str, ...] = ("SPEC", "PARSEC", "BIOBENCH", "COMMERCIAL")
+
+
+def workload_by_name(name: str) -> Workload:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def suite_workloads(suite: str) -> List[Workload]:
+    return [w for w in WORKLOADS if w.suite == suite]

@@ -1,0 +1,52 @@
+"""Shared fixtures for the XED reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import XedController
+from repro.dram import XedDimm
+from repro.ecc import CRC8ATMCode, HammingSECDED, ReedSolomonCode
+
+
+@pytest.fixture(scope="session")
+def hamming() -> HammingSECDED:
+    return HammingSECDED()
+
+
+@pytest.fixture(scope="session")
+def crc8() -> CRC8ATMCode:
+    return CRC8ATMCode()
+
+
+@pytest.fixture(scope="session", params=["hamming", "crc8"])
+def secded_code(request, hamming, crc8):
+    """Parametrised fixture running a test against both (72,64) codes."""
+    return {"hamming": hamming, "crc8": crc8}[request.param]
+
+
+@pytest.fixture(scope="session")
+def rs_chipkill() -> ReedSolomonCode:
+    return ReedSolomonCode.chipkill(16)
+
+
+@pytest.fixture(scope="session")
+def rs_double_chipkill() -> ReedSolomonCode:
+    return ReedSolomonCode.double_chipkill(32)
+
+
+@pytest.fixture()
+def xed_dimm() -> XedDimm:
+    return XedDimm.build(seed=1234)
+
+
+@pytest.fixture()
+def xed_controller(xed_dimm) -> XedController:
+    return XedController(xed_dimm, seed=99)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(20160613)

@@ -1,0 +1,142 @@
+"""Integration tests asserting the paper's headline results hold.
+
+Each test regenerates one of the paper's experiments at ``quick`` scale
+and checks bands/orderings -- not exact values, since the Monte-Carlo
+populations are far smaller than the paper's 1e9 systems and the traces
+are synthetic (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.analysis import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_experiment("fig1", scale="quick")
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_experiment("fig7", scale="quick")
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_experiment("fig8", scale="quick")
+
+
+class TestFigure1:
+    def test_ecc_dimm_adds_nothing_over_non_ecc(self, fig1):
+        results = fig1.data["results"]
+        non_ecc = results["Non-ECC DIMM (On-Die ECC)"]
+        ecc = results["ECC-DIMM (SECDED)"]
+        # Within 25%: the 9th chip even makes things slightly worse
+        # (12.5% more chips), the paper's Figure-1 point.
+        ratio = ecc.probability_of_failure / non_ecc.probability_of_failure
+        assert 0.9 < ratio < 1.35
+
+    def test_chipkill_much_better_than_ecc_dimm(self, fig1):
+        # Paper: 43x.  Accept a generous band around it.
+        assert 15 < fig1.data["chipkill_vs_eccdimm"] < 150
+
+    def test_ecc_dimm_failure_probability_band(self, fig1):
+        ecc = fig1.data["results"]["ECC-DIMM (SECDED)"]
+        # ~33.3 visible FIT x 72 chips x 7y -> ~13% of systems fail.
+        assert 0.10 < ecc.probability_of_failure < 0.18
+
+
+class TestFigure7:
+    def test_xed_vs_ecc_dimm_band(self, fig7):
+        # Paper: 172x.
+        assert 80 < fig7.data["xed_vs_eccdimm"] < 400
+
+    def test_xed_vs_chipkill_band(self, fig7):
+        # Paper: 4x (the C(18,2)/C(9,2) = 4.25 chip-count argument).
+        assert 2.0 < fig7.data["xed_vs_chipkill"] < 8.0
+
+    def test_ordering(self, fig7):
+        results = fig7.data["results"]
+        ecc = results["ECC-DIMM (SECDED)"].probability_of_failure
+        ck = results["Chipkill (18 chips)"].probability_of_failure
+        xed = results["XED (9 chips)"].probability_of_failure
+        assert xed < ck < ecc
+
+    def test_curves_monotone(self, fig7):
+        for result in fig7.data["results"].values():
+            probs = [p for _, p in result.curve()]
+            assert probs == sorted(probs)
+
+
+class TestFigure8:
+    def test_ordering_unchanged_with_scaling(self, fig8):
+        results = fig8.data["results"]
+        ecc = results["ECC-DIMM (SECDED)"].probability_of_failure
+        ck = results["Chipkill (18 chips)"].probability_of_failure
+        xed = results["XED (9 chips)"].probability_of_failure
+        assert xed < ck < ecc
+
+    def test_xed_ratio_stable_under_scaling(self, fig7, fig8):
+        without = fig7.data["xed_vs_eccdimm"]
+        with_scaling = fig8.data["xed_vs_eccdimm"]
+        # The paper reports 172x in both figures.
+        assert with_scaling == pytest.approx(without, rel=0.6)
+
+
+class TestFigure9And10:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return run_experiment("fig9", scale="quick")
+
+    def test_double_chipkill_beats_single(self, fig9):
+        # Paper: ~an order of magnitude.
+        assert fig9.data["double_vs_single"] > 4
+
+    def test_xed_chipkill_at_least_double_chipkill_level(self, fig9):
+        results = fig9.data["results"]
+        xed_ck = results["XED + Single-Chipkill (18 chips)"]
+        double = results["Double-Chipkill (36 chips)"]
+        assert (
+            xed_ck.probability_of_failure <= double.probability_of_failure
+        )
+
+    def test_scaling_variant_preserves_ordering(self):
+        fig10 = run_experiment("fig10", scale="quick")
+        results = fig10.data["results"]
+        single = results["Chipkill (18 chips)"].probability_of_failure
+        double = results["Double-Chipkill (36 chips)"].probability_of_failure
+        xed_ck = results[
+            "XED + Single-Chipkill (18 chips)"
+        ].probability_of_failure
+        assert xed_ck <= double < single
+
+
+class TestTableExperiments:
+    def test_table2_shape(self):
+        report = run_experiment("table2", scale="quick")
+        aligned = report.data["aligned"]
+        # CRC8 bursts all 100%; Hamming weaker on the even bursts.
+        crc_burst = aligned.rates["CRC8-ATM"]["burst"]
+        ham_burst = aligned.rates["Hamming"]["burst"]
+        assert all(rate == 1.0 for rate in crc_burst)
+        assert min(ham_burst) < 1.0
+
+    def test_table3_paper_column(self):
+        rows = run_experiment("table3").data["rows"]
+        assert rows[1e-4]["paper_approx"] == pytest.approx(2.05e-5, rel=0.02)
+
+    def test_table4_values(self):
+        table = run_experiment("table4").data["table"]
+        assert table.word_failure_due == pytest.approx(6.1e-6, rel=0.05)
+        assert 1e-4 < table.multi_chip_data_loss < 2e-3
+
+    def test_fig6_headline(self):
+        report = run_experiment("fig6")
+        assert report.data["x8_mean_years"] == pytest.approx(3.2e6, rel=0.05)
+        assert report.data["x4_mean_hours"] == pytest.approx(6.6, rel=0.05)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+        with pytest.raises(ValueError):
+            run_experiment("fig7", scale="huge")

@@ -1,0 +1,92 @@
+"""Integration tests for the performance/power figures (11-14).
+
+Quick-scale runs on the memory-heavy workload subset; bands follow the
+paper's gmean claims loosely since the subset over-represents
+memory-bound benchmarks (the full-suite bands are checked by the
+benchmark harness).
+"""
+
+import pytest
+
+from repro.analysis import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_experiment("fig11", scale="quick")
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return run_experiment("fig12", scale="quick")
+
+
+class TestFigure11:
+    def test_xed_costs_nothing(self, fig11):
+        assert fig11.data["gmeans"]["xed"] == pytest.approx(1.0, abs=0.002)
+
+    def test_chipkill_slowdown_band(self, fig11):
+        # Paper full-suite gmean: 1.21; the memory-heavy quick subset
+        # sits higher.
+        assert 1.05 < fig11.data["gmeans"]["chipkill"] < 1.6
+
+    def test_double_chipkill_worst(self, fig11):
+        gmeans = fig11.data["gmeans"]
+        assert gmeans["double_chipkill"] > gmeans["chipkill"]
+        assert 1.3 < gmeans["double_chipkill"] < 3.2
+
+    def test_xed_chipkill_tracks_chipkill(self, fig11):
+        gmeans = fig11.data["gmeans"]
+        assert gmeans["xed_chipkill"] == pytest.approx(
+            gmeans["chipkill"], rel=0.05
+        )
+
+    def test_libquantum_most_sensitive(self, fig11):
+        from repro.perfsim.runner import normalized_metric
+
+        grid = fig11.data["grid"]
+        ck = normalized_metric(grid, "chipkill")
+        assert ck["libquantum"] > ck["gcc"]
+        assert ck["libquantum"] > 1.3  # paper: +63.5%
+
+
+class TestFigure12:
+    def test_xed_power_neutral(self, fig12):
+        assert fig12.data["gmeans"]["xed"] == pytest.approx(1.0, abs=0.01)
+
+    def test_chipkill_power_below_baseline(self, fig12):
+        # Paper: -8%.
+        assert 0.82 < fig12.data["gmeans"]["chipkill"] < 1.0
+
+    def test_double_chipkill_power_above_chipkill(self, fig12):
+        gmeans = fig12.data["gmeans"]
+        assert gmeans["double_chipkill"] > gmeans["chipkill"]
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def fig13(self):
+        return run_experiment("fig13", scale="quick")
+
+    def test_alternatives_cost_more_time_than_xed(self, fig13):
+        times = fig13.data["time"]
+        assert times["extra_burst_chipkill"] > times["xed"]
+        assert times["extra_txn_chipkill"] > times["xed"]
+
+    def test_dck_alternatives_cost_more_than_xed_chipkill(self, fig13):
+        times = fig13.data["time"]
+        assert times["extra_burst_double_chipkill"] > times["xed_chipkill"]
+        assert times["extra_txn_double_chipkill"] > times["xed_chipkill"]
+
+    def test_extra_transaction_worse_than_extra_burst(self, fig13):
+        # A whole second transaction costs more than two extra beats.
+        times = fig13.data["time"]
+        assert times["extra_txn_chipkill"] > times["extra_burst_chipkill"]
+
+
+class TestFigure14:
+    def test_lotecc_slower_than_xed(self):
+        report = run_experiment("fig14", scale="quick")
+        slowdown = report.data["gmean_lotecc"] / report.data["gmean_xed"]
+        # Paper: +6.6% on the full suite; quick subset is write-heavier.
+        assert 1.01 < slowdown < 1.35

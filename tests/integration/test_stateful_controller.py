@@ -1,0 +1,94 @@
+"""Stateful (model-based) testing of the XED controller with hypothesis.
+
+A RuleBasedStateMachine drives arbitrary interleavings of writes,
+reads, scrubs and a single chip-fault injection against a reference
+model (a plain dict of the last written lines).  The machine asserts
+the paper's contract at every step: with at most one faulty chip, every
+read returns exactly what was written, regardless of operation order.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import XedController
+from repro.dram import XedDimm
+from repro.dram.chip import FaultGranularity
+
+ADDRESSES = [(0, 0, 0), (0, 0, 5), (0, 1, 3), (1, 0, 7), (2, 2, 2)]
+lines = st.lists(
+    st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=8, max_size=8
+)
+
+
+class XedMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 1000))
+    def setup(self, seed):
+        self.dimm = XedDimm.build(seed=seed)
+        self.ctrl = XedController(self.dimm, seed=seed + 1)
+        self.model = {}
+        self.fault_injected = False
+        self.rng = random.Random(seed)
+
+    @rule(addr=st.sampled_from(ADDRESSES), line=lines)
+    def write(self, addr, line):
+        self.ctrl.write_line(*addr, line)
+        self.model[addr] = line
+
+    @rule(addr=st.sampled_from(ADDRESSES))
+    def read(self, addr):
+        if addr not in self.model:
+            return
+        result = self.ctrl.read_line(*addr)
+        assert result.ok, f"DUE at {addr} with <=1 faulty chip"
+        assert result.words == self.model[addr], f"corruption at {addr}"
+
+    @rule(addr=st.sampled_from(ADDRESSES))
+    def scrub(self, addr):
+        if addr not in self.model:
+            return
+        result = self.ctrl.scrub_line(*addr)
+        assert result.ok and result.words == self.model[addr]
+
+    @precondition(lambda self: not self.fault_injected)
+    @rule(
+        chip=st.integers(0, 8),
+        granularity=st.sampled_from(
+            [FaultGranularity.WORD, FaultGranularity.ROW,
+             FaultGranularity.BANK, FaultGranularity.CHIP]
+        ),
+        permanent=st.booleans(),
+        anchor=st.sampled_from(ADDRESSES),
+    )
+    def inject_single_chip_fault(self, chip, granularity, permanent, anchor):
+        bank, row, column = anchor
+        self.dimm.inject_chip_failure(
+            chip=chip, granularity=granularity, permanent=permanent,
+            bank=bank, row=row, column=column,
+            seed=self.rng.randrange(1 << 16),
+        )
+        self.fault_injected = True
+
+    @invariant()
+    def xed_enable_stays_on(self):
+        if hasattr(self, "dimm"):
+            assert all(chip.regs.xed_enable for chip in self.dimm.chips)
+
+    @invariant()
+    def due_counter_stays_zero(self):
+        if hasattr(self, "ctrl"):
+            assert self.ctrl.stats["dues"] == 0
+
+
+TestXedMachine = XedMachine.TestCase
+TestXedMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,146 @@
+"""JEDEC timing lint: validate the channel model's implied commands.
+
+Runs randomized request streams through the channel, records the
+implied DRAM command sequence, and re-verifies every timing constraint
+with the independent checker in :mod:`repro.perfsim.command_log` --
+catching any algebraic shortcut in the request-level scheduler that a
+real command-stepped controller could not take.
+"""
+
+import random
+
+import pytest
+
+from repro.perfsim.command_log import Cmd, CommandLog, validate_log
+from repro.perfsim.configs import CHIPKILL, ECC_DIMM
+from repro.perfsim.dramsys import Channel
+from repro.perfsim.requests import MemoryRequest, RequestType
+from repro.perfsim.timing import DDR4_2400, SystemTiming
+
+
+def drive(channel, requests):
+    for req in requests:
+        channel.push(req)
+    now = 0.0
+    while not channel.idle:
+        _, wake = channel.pump(now)
+        if wake is None:
+            break
+        now = wake
+    channel.pump(now)
+
+
+def random_requests(n, seed, banks=8, rows=64, ranks=2):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        out.append(MemoryRequest(
+            req_type=(RequestType.WRITE if rng.random() < 0.3
+                      else RequestType.READ),
+            core=0,
+            channel=0,
+            rank=rng.randrange(ranks),
+            bank=rng.randrange(banks),
+            row=rng.randrange(rows),
+            column=rng.randrange(128),
+            arrival=float(i) * rng.uniform(0.0, 6.0),
+        ))
+    return out
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_stream_obeys_jedec(seed):
+    system = SystemTiming()
+    channel = Channel(system, ECC_DIMM, logical_ranks=2)
+    log = channel.enable_command_log()
+    drive(channel, random_requests(300, seed))
+    violations = validate_log(log, system.ddr)
+    assert not violations, violations[:5]
+
+
+def test_lockstep_chipkill_stream_obeys_jedec():
+    system = SystemTiming()
+    channel = Channel(system, CHIPKILL, logical_ranks=1)
+    log = channel.enable_command_log()
+    drive(channel, random_requests(300, seed=99, ranks=1))
+    violations = validate_log(log, system.ddr)
+    assert not violations, violations[:5]
+
+
+def test_ddr4_stream_obeys_jedec():
+    system = SystemTiming(ddr=DDR4_2400)
+    channel = Channel(system, ECC_DIMM, logical_ranks=2)
+    log = channel.enable_command_log()
+    drive(channel, random_requests(300, seed=7))
+    violations = validate_log(log, DDR4_2400)
+    assert not violations, violations[:5]
+
+
+def test_closed_page_stream_obeys_jedec():
+    system = SystemTiming(page_policy="closed")
+    channel = Channel(system, ECC_DIMM, logical_ranks=2)
+    log = channel.enable_command_log()
+    drive(channel, random_requests(200, seed=13))
+    violations = validate_log(log, system.ddr)
+    assert not violations, violations[:5]
+
+
+class TestValidatorItself:
+    """The lint must actually catch broken schedules."""
+
+    def _act(self, time, rank=0, bank=0, row=1):
+        from repro.perfsim.command_log import LoggedCommand
+
+        return LoggedCommand(Cmd.ACT, time, rank, bank, row)
+
+    def _read(self, time, rank=0, bank=0, row=1, timing=None):
+        from repro.perfsim.command_log import LoggedCommand
+
+        t = timing or SystemTiming().ddr
+        return LoggedCommand(
+            Cmd.READ, time, rank, bank, row,
+            time + t.tCAS, time + t.tCAS + t.tBURST,
+        )
+
+    def test_catches_trc_violation(self):
+        t = SystemTiming().ddr
+        log = CommandLog()
+        log.add(self._act(0.0))
+        log.add(self._act(t.tRC - 5.0))
+        assert any(v.constraint == "tRC" for v in validate_log(log, t))
+
+    def test_catches_trcd_violation(self):
+        t = SystemTiming().ddr
+        log = CommandLog()
+        log.add(self._act(0.0))
+        log.add(self._read(t.tRCD - 2.0))
+        assert any(v.constraint == "tRCD" for v in validate_log(log, t))
+
+    def test_catches_cas_without_act(self):
+        t = SystemTiming().ddr
+        log = CommandLog()
+        log.add(self._read(50.0))
+        assert any(v.constraint == "row-open" for v in validate_log(log, t))
+
+    def test_catches_faw_violation(self):
+        t = SystemTiming().ddr
+        log = CommandLog()
+        for i in range(5):
+            log.add(self._act(i * t.tRRD, bank=i, row=1))
+        assert any(v.constraint == "tFAW" for v in validate_log(log, t))
+
+    def test_catches_bus_overlap(self):
+        t = SystemTiming().ddr
+        log = CommandLog()
+        log.add(self._act(0.0, bank=0))
+        log.add(self._act(t.tRRD, bank=1))
+        log.add(self._read(t.tRCD, bank=0))
+        log.add(self._read(t.tRCD + 1.0, bank=1))  # bursts overlap
+        assert any(v.constraint == "data-bus" for v in validate_log(log, t))
+
+    def test_clean_schedule_passes(self):
+        t = SystemTiming().ddr
+        log = CommandLog()
+        log.add(self._act(0.0))
+        log.add(self._read(float(t.tRCD)))
+        assert validate_log(log, t) == []

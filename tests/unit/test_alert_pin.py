@@ -1,0 +1,123 @@
+"""Unit tests for the ALERT_n exposure variant (Section XI-C)."""
+
+import pytest
+
+from repro.core.alert_pin import AlertEvent, AlertPinXedController
+from repro.core.controller import XedController
+from repro.core.types import ReadStatus
+from repro.dram import XedDimm
+from repro.dram.chip import FaultGranularity
+
+LINE = [0x5150 + i for i in range(8)]
+
+
+def system(seed=1, ident_bits=4):
+    dimm = XedDimm.build(seed=seed)
+    ctrl = AlertPinXedController(dimm, ident_bits=ident_bits)
+    return dimm, ctrl
+
+
+class TestConstruction:
+    def test_data_path_left_untouched(self):
+        dimm, _ = system(1)
+        assert all(not chip.regs.xed_enable for chip in dimm.chips)
+
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(ValueError):
+            AlertPinXedController(XedDimm.build(), ident_bits=2)
+
+    def test_event_value_type(self):
+        event = AlertEvent(asserted=True, chip=3)
+        assert event.asserted and event.chip == 3
+
+
+class TestExtendedPin:
+    def test_clean_read(self):
+        _, ctrl = system(2)
+        ctrl.write_line(0, 0, 0, LINE)
+        result = ctrl.read_line(0, 0, 0)
+        assert result.status is ReadStatus.CLEAN and result.words == LINE
+
+    def test_single_bit_fault_absorbed_silently(self):
+        dimm, ctrl = system(3)
+        ctrl.write_line(0, 0, 1, LINE)
+        dimm.inject_chip_failure(
+            chip=2, granularity=FaultGranularity.BIT,
+            bank=0, row=0, column=1, bit=5,
+        )
+        result = ctrl.read_line(0, 0, 1)
+        # On-die corrected data flows; parity consistent; alert counted.
+        assert result.status is ReadStatus.CLEAN
+        assert result.words == LINE
+        assert ctrl.stats["alerts"] == 1
+
+    @pytest.mark.parametrize("granularity", [
+        FaultGranularity.WORD, FaultGranularity.ROW,
+        FaultGranularity.BANK, FaultGranularity.CHIP,
+    ])
+    def test_chip_failures_corrected_via_identity(self, granularity):
+        dimm, ctrl = system(4)
+        ctrl.write_line(0, 3, 7, LINE)
+        dimm.inject_chip_failure(
+            chip=6, granularity=granularity, bank=0, row=3, column=7,
+        )
+        result = ctrl.read_line(0, 3, 7)
+        assert result.ok and result.words == LINE
+        assert result.reconstructed_chip == 6 or result.status in (
+            ReadStatus.CORRECTED_ERASURE, ReadStatus.CORRECTED_DIAGNOSED
+        )
+
+    def test_equivalent_to_catch_word_xed(self):
+        """Section XI-C's claim: an identity-carrying ALERT_n implements
+        XED -- same corrections, same data, for the same fault."""
+        for chip_idx in (0, 4, 8):
+            dimm_a = XedDimm.build(seed=50 + chip_idx)
+            dimm_b = XedDimm.build(seed=50 + chip_idx)
+            alert = AlertPinXedController(dimm_a)
+            cw = XedController(dimm_b, seed=9)
+            alert.write_line(0, 0, 0, LINE)
+            cw.write_line(0, 0, 0, LINE)
+            dimm_a.inject_chip_failure(chip=chip_idx)
+            dimm_b.inject_chip_failure(chip=chip_idx)
+            res_a = alert.read_line(0, 0, 0)
+            res_b = cw.read_line(0, 0, 0)
+            assert res_a.ok and res_b.ok
+            assert res_a.words == res_b.words == LINE
+
+
+class TestPlainDdr4Pin:
+    def test_shared_pin_needs_diagnosis(self):
+        """ident_bits=0: the pin says 'someone erred' but not who --
+        the controller must diagnose, exactly the paper's objection."""
+        dimm, ctrl = system(5, ident_bits=0)
+        for col in range(128):
+            ctrl.write_line(0, 8, col, LINE)
+        dimm.inject_chip_failure(
+            chip=3, granularity=FaultGranularity.ROW, bank=0, row=8,
+        )
+        result = ctrl.read_line(0, 8, 0)
+        assert result.ok and result.words == LINE
+        assert result.status is ReadStatus.CORRECTED_DIAGNOSED
+        assert ctrl.stats["diagnoses"] == 1
+
+    def test_probe_restores_alert_mode(self):
+        dimm, ctrl = system(6, ident_bits=0)
+        for col in range(128):
+            ctrl.write_line(0, 9, col, LINE)
+        dimm.inject_chip_failure(
+            chip=1, granularity=FaultGranularity.ROW, bank=0, row=9,
+        )
+        ctrl.read_line(0, 9, 0)
+        assert all(not chip.regs.xed_enable for chip in dimm.chips)
+
+    def test_undiagnosable_is_due(self):
+        dimm, ctrl = system(7, ident_bits=0)
+        ctrl.write_line(0, 0, 0, LINE)
+        # Transient word fault: invisible to both diagnoses once the
+        # alert has fired -- must surface as DUE, not silence.
+        dimm.inject_chip_failure(
+            chip=5, granularity=FaultGranularity.WORD, permanent=False,
+            bank=0, row=0, column=0,
+        )
+        result = ctrl.read_line(0, 0, 0)
+        assert result.status is ReadStatus.DUE

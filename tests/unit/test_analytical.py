@@ -1,0 +1,96 @@
+"""Unit tests for the closed-form reliability models (Tables III/IV)."""
+
+import pytest
+
+from repro.faultsim import analytical
+from repro.faultsim.fault_models import FitTable
+
+
+class TestDueRate:
+    def test_paper_value(self):
+        # Table IV: 6.1e-6 over 7 years (9-chip rank, 0.8% miss rate).
+        assert analytical.xed_due_rate() == pytest.approx(6.1e-6, rel=0.05)
+
+    def test_scales_with_chips(self):
+        assert analytical.xed_due_rate(chips=72) == pytest.approx(
+            8 * analytical.xed_due_rate(chips=9)
+        )
+
+    def test_zero_miss_probability(self):
+        assert analytical.xed_due_rate(miss_probability=0.0) == 0.0
+
+
+class TestSdcRate:
+    def test_paper_order_of_magnitude(self):
+        # Table IV: 1.4e-13; our binomial tail lands within ~1 decade.
+        rate = analytical.xed_sdc_rate()
+        assert 1e-14 < rate < 1e-11
+
+    def test_grows_with_scaling_rate(self):
+        from repro.faultsim.scaling import ScalingFaultModel
+
+        harsh = analytical.xed_sdc_rate(
+            scaling=ScalingFaultModel(bit_error_rate=1e-3)
+        )
+        assert harsh > analytical.xed_sdc_rate()
+
+
+class TestPairCollision:
+    def test_probability_is_a_probability(self):
+        p = analytical.mean_pair_collision_probability()
+        assert 0.0 < p < 1.0
+
+    def test_bank_heavy_mix_increases_collision(self):
+        from repro.faultsim.fault_models import FailureMode, ModeRate
+
+        bank_only = FitTable({FailureMode.MULTI_BANK: ModeRate(0.0, 10.0)})
+        assert analytical.mean_pair_collision_probability(bank_only) == 1.0
+
+    def test_word_only_mix_is_tiny(self):
+        from repro.faultsim.fault_models import FailureMode, ModeRate
+
+        word_only = FitTable({FailureMode.SINGLE_WORD: ModeRate(1.0, 1.0)})
+        p = analytical.mean_pair_collision_probability(word_only)
+        # Two word faults share a word with probability 2^-25
+        # (bank 3 + row 15 + column 7 bits all pinned).
+        assert p == pytest.approx(2.0 ** -25)
+
+
+class TestMultiChipLoss:
+    def test_paper_band(self):
+        # Table IV: 5.8e-4; the Poisson-pair analytic sits in band.
+        p = analytical.multi_chip_data_loss_probability()
+        assert 1e-4 < p < 2e-3
+
+    def test_scales_with_rank_width(self):
+        xed9 = analytical.multi_chip_data_loss_probability(chips_per_rank=9)
+        ck18 = analytical.multi_chip_data_loss_probability(chips_per_rank=18)
+        # C(18,2)/C(9,2) = 4.25: the paper's "XED is 4x better than
+        # Chipkill because it has half the chips" argument.
+        assert ck18 / xed9 == pytest.approx(153 / 36, rel=0.05)
+
+
+class TestTableIV:
+    def test_rows_complete(self):
+        table = analytical.table_iv()
+        rows = table.rows()
+        assert len(rows) == 4
+        assert table.scaling_sdc_or_due == 0.0
+        assert table.word_failure_due == pytest.approx(6.1e-6, rel=0.05)
+
+    def test_format(self):
+        text = analytical.table_iv().format_table()
+        assert "Table IV" in text and "0 (none)" in text
+
+
+class TestTableIII:
+    def test_paper_column(self):
+        rows = analytical.table_iii()
+        assert rows[1e-4]["paper_approx"] == pytest.approx(2.05e-5, rel=0.01)
+        assert rows[1e-5]["paper_approx"] == pytest.approx(2.05e-7, rel=0.01)
+        assert rows[1e-6]["paper_approx"] == pytest.approx(2.05e-9, rel=0.01)
+
+    def test_exact_larger_than_approx(self):
+        rows = analytical.table_iii()
+        for vals in rows.values():
+            assert vals["exact"] > vals["paper_approx"]

@@ -1,0 +1,67 @@
+"""Unit tests for the campaign module's bookkeeping (fast paths)."""
+
+import pytest
+
+from repro.faultsim.campaign import (
+    CampaignResult,
+    Outcome,
+    Scenario,
+    _classify,
+    run_xed_campaign,
+)
+from repro.dram.chip import FaultGranularity
+
+
+class TestClassification:
+    def test_clean(self):
+        assert _classify(True, True, "clean") is Outcome.CLEAN
+
+    def test_corrected(self):
+        assert _classify(True, True, "corrected_erasure") is Outcome.CORRECTED
+
+    def test_due(self):
+        assert _classify(False, False, "due") is Outcome.DUE
+
+    def test_sdc(self):
+        assert _classify(True, False, "corrected_erasure") is Outcome.SDC
+
+
+class TestCampaignResult:
+    def make(self, outcomes):
+        result = CampaignResult()
+        for outcome in outcomes:
+            result.scenarios.append(
+                Scenario([FaultGranularity.BIT], [0], True, outcome, "x")
+            )
+        return result
+
+    def test_counts(self):
+        result = self.make(
+            [Outcome.CLEAN, Outcome.CORRECTED, Outcome.CORRECTED, Outcome.DUE]
+        )
+        counts = result.counts
+        assert counts[Outcome.CORRECTED] == 2
+        assert result.total == 4
+        assert result.sdc_count == 0
+        assert result.corrected_fraction == pytest.approx(0.75)
+
+    def test_empty(self):
+        result = CampaignResult()
+        assert result.corrected_fraction == 0.0
+        assert result.total == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self):
+        a = run_xed_campaign(trials=4, seed=42)
+        b = run_xed_campaign(trials=4, seed=42)
+        assert [s.outcome for s in a.scenarios] == [
+            s.outcome for s in b.scenarios
+        ]
+
+    def test_restricted_granularities(self):
+        result = run_xed_campaign(
+            trials=4, seed=1, granularities=(FaultGranularity.ROW,)
+        )
+        for scenario in result.scenarios:
+            assert scenario.granularities == [FaultGranularity.ROW]

@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import RELIABILITY_SCHEMES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_scheme_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reliability", "--schemes", "magic"])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig7"])
+        assert args.scale == "quick" and args.seed == 2016
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig1", "fig7", "fig11", "table2", "table4"):
+            assert exp_id in out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "catch-words" in out.lower()
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_collision_x4(self, capsys):
+        assert main(["collision", "--bits", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "32 bits" in out
+        hours = float(out.split("(")[1].split(" hours")[0])
+        assert hours == pytest.approx(6.6, rel=0.05)  # the paper's figure
+
+    def test_reliability_small_run(self, capsys):
+        code = main([
+            "reliability", "--schemes", "ecc_dimm", "xed",
+            "--systems", "20000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "XED (9 chips)" in out and "P(fail" in out
+
+    def test_perf_small_run(self, capsys):
+        code = main([
+            "perf", "--workloads", "gcc", "--schemes", "xed",
+            "--instructions", "5000", "--metric", "time",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Normalized Execution Time" in out and "gcc" in out
+
+    def test_campaign_clean_exit(self, capsys):
+        code = main(["campaign", "--kind", "xed", "--trials", "3"])
+        assert code == 0
+        assert "scenarios" in capsys.readouterr().out
+
+    def test_scheme_registry_matches_faultsim(self):
+        import repro.faultsim as fs
+
+        for class_name in RELIABILITY_SCHEMES.values():
+            assert hasattr(fs, class_name)

@@ -1,0 +1,186 @@
+"""Unit tests for inter-/intra-line diagnosis and the FCT (Section VI)."""
+
+import pytest
+
+from repro.core.controller import XedController
+from repro.core.diagnosis import (
+    FaultyRowChipTracker,
+    inter_line_diagnosis,
+    intra_line_diagnosis,
+)
+from repro.dram import XedDimm
+from repro.dram.chip import FaultGranularity
+
+
+def make_system(seed=1, scaling=0.0):
+    dimm = XedDimm.build(seed=seed, scaling_ber=scaling)
+    ctrl = XedController(dimm, seed=seed + 100)
+    return dimm, ctrl
+
+
+def fill_row(ctrl, bank, row, columns=128):
+    for col in range(columns):
+        ctrl.write_line(bank, row, col, [col * 8 + i for i in range(8)])
+
+
+class TestInterLineDiagnosis:
+    def test_row_failure_convicted(self):
+        dimm, ctrl = make_system(1)
+        fill_row(ctrl, 0, 10)
+        dimm.inject_chip_failure(
+            chip=6, granularity=FaultGranularity.ROW, bank=0, row=10
+        )
+        result = inter_line_diagnosis(dimm, ctrl.catch_words, 0, 10)
+        assert result.faulty_chip == 6
+        assert result.evidence[6] >= 12  # way past the 10% threshold
+
+    def test_bank_failure_convicted(self):
+        dimm, ctrl = make_system(2)
+        fill_row(ctrl, 3, 55)
+        dimm.inject_chip_failure(
+            chip=2, granularity=FaultGranularity.BANK, bank=3
+        )
+        result = inter_line_diagnosis(dimm, ctrl.catch_words, 3, 55)
+        assert result.faulty_chip == 2
+
+    def test_parity_chip_convictable(self):
+        dimm, ctrl = make_system(3)
+        fill_row(ctrl, 0, 1)
+        dimm.inject_chip_failure(
+            chip=8, granularity=FaultGranularity.ROW, bank=0, row=1
+        )
+        result = inter_line_diagnosis(dimm, ctrl.catch_words, 0, 1)
+        assert result.faulty_chip == 8
+
+    def test_healthy_row_convicts_nobody(self):
+        dimm, ctrl = make_system(4)
+        fill_row(ctrl, 0, 0)
+        result = inter_line_diagnosis(dimm, ctrl.catch_words, 0, 0)
+        assert result.faulty_chip is None
+        assert all(v == 0 for v in result.evidence.values())
+
+    def test_single_word_fault_below_threshold(self):
+        """One bad line out of 128 is 0.8%: far below the 10% threshold,
+        so inter-line diagnosis (correctly) refuses to convict."""
+        dimm, ctrl = make_system(5)
+        fill_row(ctrl, 0, 7)
+        dimm.inject_chip_failure(
+            chip=4, granularity=FaultGranularity.WORD,
+            bank=0, row=7, column=3,
+        )
+        result = inter_line_diagnosis(dimm, ctrl.catch_words, 0, 7)
+        assert result.faulty_chip is None
+
+    def test_scaling_noise_does_not_convict(self):
+        """Weak cells at the paper's 1e-4 rate sprinkle catch-words
+        across chips but no chip should cross the 10% threshold (the
+        Section VIII argument; at 1e-3 the threshold *can* be crossed,
+        which is why the paper quotes the SDC bound at 1e-4)."""
+        dimm, ctrl = make_system(6, scaling=1e-4)
+        fill_row(ctrl, 0, 2)
+        result = inter_line_diagnosis(dimm, ctrl.catch_words, 0, 2)
+        assert result.faulty_chip is None
+
+    def test_threshold_parameter(self):
+        dimm, ctrl = make_system(7)
+        fill_row(ctrl, 0, 9)
+        dimm.inject_chip_failure(
+            chip=1, granularity=FaultGranularity.WORD, bank=0, row=9, column=0
+        )
+        # With an absurdly low threshold even one line convicts.
+        result = inter_line_diagnosis(
+            dimm, ctrl.catch_words, 0, 9, threshold=0.0
+        )
+        assert result.faulty_chip == 1
+
+
+class TestFCT:
+    def test_records_and_looks_up(self):
+        fct = FaultyRowChipTracker(capacity=4)
+        fct.record(0, 100, 5)
+        assert fct.lookup(0, 100) == 5
+        assert fct.lookup(0, 101) is None
+
+    def test_capacity_evicts_oldest(self):
+        fct = FaultyRowChipTracker(capacity=2)
+        fct.record(0, 1, 1)
+        fct.record(0, 2, 2)
+        fct.record(0, 3, 3)
+        assert len(fct.entries) == 2
+        assert fct.lookup(0, 1) is None or fct.dead_chip is not None
+
+    def test_unanimous_full_tracker_marks_chip_dead(self):
+        fct = FaultyRowChipTracker(capacity=4)
+        for row in range(4):
+            fct.record(1, row, 7)
+        assert fct.dead_chip == 7
+        # Dead chip answers every lookup (all accesses reconstructed).
+        assert fct.lookup(5, 99999) == 7
+
+    def test_divided_tracker_does_not_kill(self):
+        fct = FaultyRowChipTracker(capacity=4)
+        fct.record(0, 0, 1)
+        fct.record(0, 1, 1)
+        fct.record(0, 2, 2)
+        fct.record(0, 3, 1)
+        assert fct.dead_chip is None
+
+    def test_entry_cost_36_bits(self):
+        fct = FaultyRowChipTracker(capacity=8)
+        assert fct.ENTRY_BITS == 36
+        assert fct.storage_bits == 8 * 36
+
+
+class TestIntraLineDiagnosis:
+    def test_finds_permanent_word_fault(self):
+        dimm, ctrl = make_system(8)
+        ctrl.write_line(0, 4, 20, list(range(8)))
+        dimm.inject_chip_failure(
+            chip=3, granularity=FaultGranularity.WORD, permanent=True,
+            bank=0, row=4, column=20,
+        )
+        result = intra_line_diagnosis(dimm, 0, 4, 20)
+        assert result.faulty_chip == 3
+
+    def test_finds_permanent_bit_beyond_on_die(self):
+        dimm, ctrl = make_system(9)
+        ctrl.write_line(0, 4, 21, list(range(8)))
+        dimm.inject_chip_failure(
+            chip=5, granularity=FaultGranularity.WORD, permanent=True,
+            bank=0, row=4, column=21, severity=6,
+        )
+        assert intra_line_diagnosis(dimm, 0, 4, 21).faulty_chip == 5
+
+    def test_cannot_find_transient_fault(self):
+        """Table IV's DUE tail: transient faults vanish under rewrite."""
+        dimm, ctrl = make_system(10)
+        ctrl.write_line(0, 4, 22, list(range(8)))
+        dimm.inject_chip_failure(
+            chip=2, granularity=FaultGranularity.WORD, permanent=False,
+            bank=0, row=4, column=22,
+        )
+        assert intra_line_diagnosis(dimm, 0, 4, 22).faulty_chip is None
+
+    def test_healthy_line_no_conviction(self):
+        dimm, ctrl = make_system(11)
+        ctrl.write_line(0, 0, 0, list(range(8)))
+        assert intra_line_diagnosis(dimm, 0, 0, 0).faulty_chip is None
+
+    def test_restores_xed_enable_and_content(self):
+        dimm, ctrl = make_system(12)
+        line = [11 * i for i in range(8)]
+        ctrl.write_line(2, 6, 30, line)
+        intra_line_diagnosis(dimm, 2, 6, 30)
+        assert all(chip.regs.xed_enable for chip in dimm.chips)
+        after = ctrl.read_line(2, 6, 30)
+        assert after.words == line
+
+    def test_two_faulty_chips_refused(self):
+        dimm, ctrl = make_system(13)
+        ctrl.write_line(0, 0, 1, list(range(8)))
+        for chip in (1, 6):
+            dimm.inject_chip_failure(
+                chip=chip, granularity=FaultGranularity.WORD, permanent=True,
+                bank=0, row=0, column=1, severity=5,
+            )
+        assert intra_line_diagnosis(dimm, 0, 0, 1).faulty_chip is None

@@ -1,0 +1,158 @@
+"""Unit tests for DIMM organisations: SECDED ECC-DIMM, XED, Chipkill rank."""
+
+import random
+
+import pytest
+
+from repro.dram.chip import FaultGranularity
+from repro.dram.dimm import ChipkillRank, EccDimm, XedDimm, xor_parity
+
+
+def words(seed: int = 0, n: int = 8):
+    rng = random.Random(seed)
+    return [rng.getrandbits(64) for _ in range(n)]
+
+
+class TestXorParity:
+    def test_parity_of_identical_pairs_cancels(self):
+        assert xor_parity([5, 5, 9, 9]) == 0
+
+    def test_parity_roundtrip(self):
+        ws = words(1)
+        assert xor_parity(ws + [xor_parity(ws)]) == 0
+
+
+class TestEccDimm:
+    def test_roundtrip(self):
+        dimm = EccDimm(seed=1)
+        ws = words(2)
+        dimm.write_line(0, 0, 0, ws)
+        result = dimm.read_line(0, 0, 0)
+        assert result.words == ws
+        assert not result.corrected and not result.uncorrectable
+
+    def test_corrects_single_bit_chip_fault(self):
+        """A single stuck bit is within DIMM-level SECDED reach -- but
+        with on-die ECC present the chip already fixed it, so turn the
+        check bits into the interesting case: corrupt the *stored* data
+        transiently with a 1-bit flip and disable nothing."""
+        dimm = EccDimm(seed=2)
+        ws = words(3)
+        dimm.write_line(0, 1, 1, ws)
+        # Flip one stored bit in chip 4 behind the on-die code's back is
+        # not possible (the code re-encodes), so emulate the paper's
+        # point instead: single-bit runtime faults never even reach the
+        # DIMM code because on-die ECC corrects them.
+        dimm.inject_chip_failure(
+            chip=4, granularity=FaultGranularity.BIT,
+            bank=0, row=1, column=1, bit=9,
+        )
+        result = dimm.read_line(0, 1, 1)
+        assert result.words == ws
+        assert not result.uncorrectable
+
+    def test_chip_failure_defeats_secded(self):
+        """The Figure-1 observation: a whole-chip (multi-bit-per-beat)
+        failure is beyond the 9th chip's SECDED."""
+        dimm = EccDimm(seed=3)
+        ws = words(4)
+        dimm.write_line(0, 0, 5, ws)
+        dimm.inject_chip_failure(chip=2)
+        result = dimm.read_line(0, 0, 5)
+        assert result.uncorrectable or result.words != ws
+
+    def test_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            EccDimm(seed=4).write_line(0, 0, 0, [1] * 7)
+
+
+class TestXedDimm:
+    def test_parity_chip_holds_xor(self):
+        dimm = XedDimm.build(seed=5)
+        ws = words(5)
+        dimm.write_line(1, 2, 3, ws)
+        stored = [chip.read(1, 2, 3) for chip in dimm.chips]
+        assert stored[:8] == ws
+        assert stored[8] == xor_parity(ws)
+
+    def test_chip_count(self):
+        dimm = XedDimm.build()
+        assert dimm.num_chips == 9
+        assert dimm.PARITY_CHIP == 8
+
+    def test_build_with_scaling(self):
+        dimm = XedDimm.build(seed=1, scaling_ber=1e-4)
+        assert dimm.chips[0].scaling_ber == 1e-4
+
+    def test_chips_have_distinct_seeds(self):
+        dimm = XedDimm.build(seed=9, scaling_ber=1e-2)
+        weak0 = [dimm.chips[0].weak_bit(0, 0, c) for c in range(64)]
+        weak1 = [dimm.chips[1].weak_bit(0, 0, c) for c in range(64)]
+        assert weak0 != weak1
+
+    def test_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            XedDimm.build().write_line(0, 0, 0, [1] * 9)
+
+
+class TestChipkillRank:
+    def test_roundtrip(self):
+        rank = ChipkillRank(seed=6)
+        ws = words(6, 16)
+        rank.write_line(0, 0, 0, ws)
+        result = rank.read_line(0, 0, 0)
+        assert result.words == ws and not result.corrected
+
+    def test_single_chip_failure_corrected(self):
+        rank = ChipkillRank(seed=7)
+        ws = words(7, 16)
+        rank.write_line(0, 3, 3, ws)
+        rank.inject_chip_failure(chip=11)
+        result = rank.read_line(0, 3, 3)
+        assert result.words == ws
+        assert result.corrected
+        assert result.corrected_chips == [11]
+
+    def test_check_chip_failure_corrected(self):
+        rank = ChipkillRank(seed=8)
+        ws = words(8, 16)
+        rank.write_line(0, 0, 9, ws)
+        rank.inject_chip_failure(chip=17)  # a check-symbol chip
+        result = rank.read_line(0, 0, 9)
+        assert result.words == ws
+
+    def test_double_chip_failure_flagged_at_rank_level(self):
+        """Two chips failing together: at least one of the 8 beat
+        codewords must detect it (the cross-beat DSD argument)."""
+        rank = ChipkillRank(seed=9)
+        ws = words(9, 16)
+        rank.write_line(0, 0, 0, ws)
+        rank.inject_chip_failure(chip=3)
+        rank.inject_chip_failure(chip=12, seed=1)
+        result = rank.read_line(0, 0, 0)
+        assert result.uncorrectable or result.words != ws
+
+    def test_double_failure_recovered_with_xed_erasures(self):
+        """Section IX: catch-words turn the two check symbols into two
+        erasure correctors -> Double-Chipkill reliability on 18 chips."""
+        rank = ChipkillRank(seed=10)
+        ws = words(10, 16)
+        rank.write_line(0, 1, 1, ws)
+        rank.inject_chip_failure(chip=3)
+        rank.inject_chip_failure(chip=12, seed=1)
+        result = rank.read_line(0, 1, 1, erasures=[3, 12])
+        assert result.words == ws
+        assert not result.uncorrectable
+
+    def test_double_chipkill_rank(self):
+        rank = ChipkillRank(data_chips=32, check_chips=4, seed=11)
+        ws = words(11, 32)
+        rank.write_line(0, 0, 0, ws)
+        rank.inject_chip_failure(chip=0)
+        rank.inject_chip_failure(chip=20, seed=2)
+        result = rank.read_line(0, 0, 0)
+        assert result.words == ws  # corrects two chips outright
+
+    def test_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            ChipkillRank().write_line(0, 0, 0, [1] * 15)

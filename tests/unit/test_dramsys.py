@@ -1,0 +1,173 @@
+"""Unit tests for the DDR3 channel state machine and FR-FCFS policy."""
+
+import pytest
+
+from repro.perfsim.configs import CHIPKILL, ECC_DIMM
+from repro.perfsim.dramsys import Channel
+from repro.perfsim.requests import MemoryRequest, RequestType
+from repro.perfsim.timing import SystemTiming
+
+
+def make_channel(config=ECC_DIMM, ranks=2):
+    return Channel(SystemTiming(), config, ranks)
+
+
+def req(req_type=RequestType.READ, rank=0, bank=0, row=0, column=0,
+        arrival=0.0, core=0):
+    return MemoryRequest(
+        req_type=req_type, core=core, channel=0, rank=rank, bank=bank,
+        row=row, column=column, arrival=arrival,
+    )
+
+
+def serve_one(channel, request, now=0.0):
+    channel.push(request)
+    completed, _ = channel.pump(now)
+    assert len(completed) == 1
+    return completed[0][1]
+
+
+def drain(channel, start=0.0):
+    """Pump until the channel's queues are fully served."""
+    completed, wake = channel.pump(start)
+    while wake is not None and not channel.idle:
+        more, wake = channel.pump(wake)
+        completed.extend(more)
+    return completed
+
+
+class TestBasicTiming:
+    def test_cold_read_latency(self):
+        t = SystemTiming().ddr
+        done = serve_one(make_channel(), req())
+        # ACT + tRCD + tCAS + burst.
+        assert done == pytest.approx(t.tRCD + t.tCAS + t.tBURST)
+
+    def test_row_hit_faster_than_miss(self):
+        ch = make_channel()
+        first = serve_one(ch, req(row=7))
+        hit = serve_one(ch, req(row=7, column=1), now=first)
+        miss_ch = make_channel()
+        first2 = serve_one(miss_ch, req(row=7))
+        conflict = serve_one(miss_ch, req(row=9), now=first2)
+        assert hit - first < conflict - first2
+        assert ch.stats.row_hits == 1
+        assert miss_ch.stats.row_conflicts == 1
+
+    def test_writes_complete_after_cwd(self):
+        t = SystemTiming().ddr
+        done = serve_one(make_channel(), req(RequestType.WRITE))
+        assert done == pytest.approx(t.tRCD + t.tCWD + t.tBURST)
+
+    def test_bus_serialises_accesses(self):
+        ch = make_channel()
+        for i in range(4):
+            ch.push(req(row=0, column=i))
+        completed = drain(ch)
+        times = sorted(d for _, d in completed)
+        burst = ECC_DIMM.bus_cycles_per_access
+        for a, b in zip(times, times[1:]):
+            assert b - a >= burst - 1e-9
+
+    @staticmethod
+    def _drain(channel):
+        completed, wake = channel.pump(0.0)
+        while wake is not None:
+            more, wake = channel.pump(wake)
+            completed.extend(more)
+        return completed
+
+    def test_bank_parallelism_overlaps_activates(self):
+        seq = make_channel()
+        for i in range(4):
+            seq.push(req(bank=0, row=i * 2))  # all conflicts, one bank
+        done_seq = max(d for _, d in self._drain(seq))
+
+        par = make_channel()
+        for i in range(4):
+            par.push(req(bank=i, row=5))  # spread across banks
+        done_par = max(d for _, d in self._drain(par))
+        assert done_par < done_seq
+
+
+class TestFRFCFS:
+    def test_row_hit_jumps_the_queue(self):
+        ch = make_channel()
+        opener = req(bank=0, row=3)
+        serve_one(ch, opener)
+        ch.push(req(bank=1, row=9, column=0, arrival=1.0))   # older, miss
+        ch.push(req(bank=0, row=3, column=1, arrival=2.0))   # younger, hit
+        completed = drain(ch, 50.0)
+        order = [r.row for r, _ in completed]
+        assert order[0] == 3  # the hit goes first
+
+    def test_fifo_among_misses(self):
+        ch = make_channel()
+        ch.push(req(bank=0, row=1, arrival=0.0))
+        ch.push(req(bank=1, row=2, arrival=1.0))
+        completed = drain(ch, 10.0)
+        assert [r.row for r, _ in completed] == [1, 2]
+
+
+class TestWriteDrain:
+    def test_hysteresis(self):
+        sys_t = SystemTiming()
+        ch = make_channel()
+        # Fill the write queue past the high watermark.
+        for i in range(sys_t.write_drain_high):
+            ch.push(req(RequestType.WRITE, bank=i % 8, row=i, column=i % 128))
+        ch.push(req(RequestType.READ, bank=0, row=0))
+        completed = drain(ch)
+        # Drain mode must have issued a contiguous batch of writes down
+        # to the low watermark before the read was served.
+        kinds = [r.req_type for r, _ in completed]
+        first_read = kinds.index(RequestType.READ)
+        writes_before = first_read
+        assert writes_before >= sys_t.write_drain_high - sys_t.write_drain_low
+
+    def test_reads_prioritised_when_not_draining(self):
+        ch = make_channel()
+        ch.push(req(RequestType.WRITE, bank=0, row=1, arrival=0.0))
+        ch.push(req(RequestType.READ, bank=1, row=2, arrival=1.0))
+        completed = drain(ch, 5.0)
+        assert completed[0][0].req_type is RequestType.READ
+
+
+class TestRefresh:
+    def test_refresh_fires_periodically(self):
+        t = SystemTiming().ddr
+        ch = make_channel()
+        serve_one(ch, req())
+        # Jump past several tREFI windows.
+        serve_one(ch, req(row=5, arrival=4 * t.tREFI), now=4 * t.tREFI)
+        assert ch.stats.refreshes >= 3
+
+    def test_refresh_closes_rows(self):
+        t = SystemTiming().ddr
+        ch = make_channel()
+        serve_one(ch, req(row=3))
+        done = serve_one(
+            ch, req(row=3, column=2, arrival=2 * t.tREFI), now=2 * t.tREFI
+        )
+        # After refresh the row must be re-activated: no row-hit timing.
+        assert ch.stats.row_hits == 0
+
+
+class TestLockstepConfigs:
+    def test_chipkill_counts_physical_activates(self):
+        ch = make_channel(CHIPKILL, ranks=1)
+        serve_one(ch, req())
+        assert ch.stats.activates == 2  # both physical ranks activated
+
+    def test_chipkill_occupies_bus_twice_as_long(self):
+        base_ch = make_channel()
+        ck_ch = make_channel(CHIPKILL, ranks=1)
+        serve_one(base_ch, req())
+        serve_one(ck_ch, req())
+        assert ck_ch.stats.bus_busy_cycles == 2 * base_ch.stats.bus_busy_cycles
+
+    def test_mean_read_latency_tracked(self):
+        ch = make_channel()
+        serve_one(ch, req())
+        assert ch.stats.mean_read_latency > 0
+        assert ch.stats.reads_served == 1

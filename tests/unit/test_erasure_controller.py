@@ -1,0 +1,140 @@
+"""Unit tests for XED on Chipkill hardware (Section IX)."""
+
+import random
+
+import pytest
+
+from repro.core import ReadStatus, XedChipkillController
+from repro.dram.chip import FaultGranularity
+from repro.dram.dimm import ChipkillRank
+from repro.dram.geometry import ChipGeometry
+
+LINE16 = [0xA000 + i for i in range(16)]
+
+
+def system(seed=1, device_width=8, scaling=0.0):
+    rank = ChipkillRank(
+        seed=seed,
+        geometry=ChipGeometry(device_width=device_width),
+        scaling_ber=scaling,
+    )
+    return rank, XedChipkillController(rank, seed=seed + 5)
+
+
+class TestProvisioning:
+    def test_catch_word_width_tracks_device(self):
+        _, ctrl8 = system(1, device_width=8)
+        _, ctrl4 = system(2, device_width=4)
+        assert ctrl8.registers[0].width_bits == 64
+        assert ctrl4.registers[0].width_bits == 32
+
+    def test_all_18_chips_provisioned(self):
+        rank, ctrl = system(3)
+        assert len(ctrl.catch_words) == 18
+        assert all(chip.regs.xed_enable for chip in rank.chips)
+
+
+class TestReadPaths:
+    def test_clean(self):
+        _, ctrl = system(4)
+        ctrl.write_line(0, 0, 0, LINE16)
+        result = ctrl.read_line(0, 0, 0)
+        assert result.status is ReadStatus.CLEAN
+        assert result.words == LINE16
+
+    def test_single_chip_failure(self):
+        rank, ctrl = system(5)
+        ctrl.write_line(0, 1, 2, LINE16)
+        rank.inject_chip_failure(chip=7)
+        result = ctrl.read_line(0, 1, 2)
+        assert result.ok and result.words == LINE16
+        assert 7 in result.catch_word_chips
+
+    def test_double_chip_failure_the_section_ix_claim(self):
+        rank, ctrl = system(6)
+        ctrl.write_line(0, 0, 5, LINE16)
+        rank.inject_chip_failure(chip=3, seed=1)
+        rank.inject_chip_failure(chip=12, seed=2)
+        result = ctrl.read_line(0, 0, 5)
+        assert result.status is ReadStatus.CORRECTED_ERASURE
+        assert result.words == LINE16
+        assert set(result.catch_word_chips) == {3, 12}
+
+    def test_double_failure_including_check_chips(self):
+        rank, ctrl = system(7)
+        ctrl.write_line(0, 0, 0, LINE16)
+        rank.inject_chip_failure(chip=16, seed=1)  # check chip
+        rank.inject_chip_failure(chip=17, seed=2)  # check chip
+        result = ctrl.read_line(0, 0, 0)
+        assert result.ok and result.words == LINE16
+
+    def test_every_chip_pair_recoverable_sampled(self):
+        rng = random.Random(9)
+        for trial in range(10):
+            rank, ctrl = system(100 + trial)
+            ctrl.write_line(0, 0, 0, LINE16)
+            a, b = rng.sample(range(18), 2)
+            rank.inject_chip_failure(chip=a, seed=1)
+            rank.inject_chip_failure(chip=b, seed=2)
+            result = ctrl.read_line(0, 0, 0)
+            assert result.ok and result.words == LINE16, (a, b)
+
+    def test_triple_chip_failure_is_due(self):
+        rank, ctrl = system(8)
+        ctrl.write_line(0, 0, 0, LINE16)
+        for chip, s in ((1, 1), (8, 2), (15, 3)):
+            rank.inject_chip_failure(chip=chip, seed=s)
+        result = ctrl.read_line(0, 0, 0)
+        assert result.status is ReadStatus.DUE
+        assert ctrl.stats["dues"] >= 1
+
+    def test_stats_track_corrections(self):
+        rank, ctrl = system(10)
+        ctrl.write_line(0, 0, 0, LINE16)
+        rank.inject_chip_failure(chip=0)
+        ctrl.read_line(0, 0, 0)
+        assert ctrl.stats["erasure_corrections"] == 1
+        assert ctrl.stats["catch_words_seen"] == 1
+
+
+class TestCollisions:
+    def test_data_matching_catch_word_still_correct(self):
+        _, ctrl = system(11)
+        line = list(LINE16)
+        line[4] = ctrl.catch_words[4]  # legitimate data == catch-word
+        ctrl.write_line(0, 0, 1, line)
+        result = ctrl.read_line(0, 0, 1)
+        assert result.words == line
+        assert result.collision
+        assert ctrl.stats["collisions"] == 1
+        assert ctrl.catch_words[4] != line[4]  # rotated
+
+    def test_after_rotation_reads_clean(self):
+        _, ctrl = system(12)
+        line = list(LINE16)
+        line[2] = ctrl.catch_words[2]
+        ctrl.write_line(0, 0, 2, line)
+        ctrl.read_line(0, 0, 2)
+        result = ctrl.read_line(0, 0, 2)
+        assert result.status is ReadStatus.CLEAN and result.words == line
+
+
+class TestScalingInterplay:
+    def test_many_scaling_catch_words_serial_mode(self):
+        rank, ctrl = system(13, scaling=8e-3)
+        target = None
+        for col in range(128):
+            weak = [
+                i for i, chip in enumerate(rank.chips)
+                if chip.weak_bit(0, 0, col) is not None
+            ]
+            if len(weak) > rank.check_chips:
+                target = col
+                break
+        if target is None:
+            pytest.skip("no suitably weak column at this seed")
+        ctrl.write_line(0, 0, target, LINE16)
+        result = ctrl.read_line(0, 0, target)
+        assert result.ok and result.words == LINE16
+        assert result.serial_mode
+        assert ctrl.stats["serial_mode_entries"] >= 1

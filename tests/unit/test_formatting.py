@@ -1,0 +1,59 @@
+"""Unit tests for result formatting and the reproduce-all driver."""
+
+import pytest
+
+from repro.analysis import reproduce_all
+from repro.analysis.formatting import format_reliability_table, format_series
+from repro.faultsim.schemes import FailureKind
+from repro.faultsim.simulator import ReliabilityResult
+
+
+def fake_result(name: str, failures: int, n: int = 1000) -> ReliabilityResult:
+    times = [float(100 * (i + 1)) for i in range(failures)]
+    return ReliabilityResult(
+        name, n, 7, times, [FailureKind.DUE] * failures
+    )
+
+
+class TestFormatSeries:
+    def test_aligned_table(self):
+        series = {
+            "A": [(1, 0.1), (2, 0.2)],
+            "B": [(1, 0.01), (2, 0.02)],
+        }
+        text = format_series("Title", series)
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "A" in lines[1] and "B" in lines[1]
+        assert len(lines) == 4  # title + header + 2 rows
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_series("T", {})
+
+
+class TestFormatReliabilityTable:
+    def test_ratios_against_baseline(self):
+        base = fake_result("base", 100)
+        better = fake_result("better", 10)
+        text = format_reliability_table("T", [base, better], "base")
+        assert "10.0x vs base" in text
+
+    def test_without_baseline(self):
+        text = format_reliability_table("T", [fake_result("only", 5)])
+        assert "only" in text and "x vs" not in text
+
+
+class TestReproduceAll:
+    def test_subset_run(self):
+        reports = reproduce_all(
+            scale="quick", experiment_ids=["table1", "fig6"]
+        )
+        assert set(reports) == {"table1", "fig6"}
+        assert reports["fig6"].data["x8_mean_years"] == pytest.approx(
+            3.2e6, rel=0.05
+        )
+
+    def test_unknown_id_propagates(self):
+        with pytest.raises(KeyError):
+            reproduce_all(experiment_ids=["fig99"])

@@ -1,0 +1,170 @@
+"""Unit tests for GF(2^m) arithmetic: the algebra under Chipkill."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import GF16, GF256, GF2m, PRIMITIVE_POLYNOMIALS
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestConstruction:
+    def test_known_field_sizes(self):
+        for m in (2, 3, 4, 8):
+            gf = GF2m(m)
+            assert gf.size == 1 << m
+            assert gf.order == (1 << m) - 1
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+        with pytest.raises(ValueError):
+            GF2m(17)
+
+    def test_rejects_non_primitive_polynomial(self):
+        # x^8 + 1 = (x+1)^8 over GF(2): maximally non-primitive.
+        with pytest.raises(ValueError):
+            GF2m(8, primitive_poly=0x101)
+
+    def test_exp_log_are_inverse_bijections(self):
+        gf = GF256
+        seen = set()
+        for i in range(gf.order):
+            x = gf.alpha_pow(i)
+            assert gf.log(x) == i
+            seen.add(x)
+        assert len(seen) == gf.order
+
+    def test_all_registered_polynomials_are_primitive(self):
+        for m in PRIMITIVE_POLYNOMIALS:
+            if m <= 12:  # keep the test fast
+                GF2m(m)  # constructor raises if not primitive
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    def test_addition_is_xor_and_self_inverse(self, a, b):
+        gf = GF256
+        assert gf.add(a, b) == a ^ b
+        assert gf.add(gf.add(a, b), b) == a
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=200)
+    def test_multiplication_associative(self, a, b, c):
+        gf = GF256
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+    @given(a=elements, b=elements)
+    def test_multiplication_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=200)
+    def test_distributive(self, a, b, c):
+        gf = GF256
+        assert gf.mul(a, gf.add(b, c)) == gf.add(gf.mul(a, b), gf.mul(a, c))
+
+    @given(a=nonzero)
+    def test_multiplicative_inverse(self, a):
+        gf = GF256
+        assert gf.mul(a, gf.inv(a)) == 1
+
+    @given(a=elements)
+    def test_identities(self, a):
+        gf = GF256
+        assert gf.mul(a, 1) == a
+        assert gf.mul(a, 0) == 0
+        assert gf.add(a, 0) == a
+
+    @given(a=nonzero, b=nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        gf = GF256
+        assert gf.div(gf.mul(a, b), b) == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    @given(a=nonzero, n=st.integers(min_value=-10, max_value=10))
+    def test_pow_matches_repeated_multiplication(self, a, n):
+        gf = GF256
+        expected = 1
+        for _ in range(abs(n)):
+            expected = gf.mul(expected, a)
+        if n < 0:
+            expected = gf.inv(expected)
+        assert gf.pow(a, n) == expected
+
+    def test_pow_zero_cases(self):
+        assert GF256.pow(0, 0) == 1
+        assert GF256.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, -1)
+
+    def test_known_product_in_default_field(self):
+        # In GF(2^8)/0x11D: x^7 * x = x^8 = 0x1D (the reduction itself).
+        assert GF256.mul(0x80, 0x02) == 0x1D
+
+    def test_rejects_irreducible_but_not_primitive(self):
+        # AES's 0x11B is irreducible yet x is not a generator (order 51):
+        # log/exp-table arithmetic would be silently wrong, so the
+        # constructor must refuse it.
+        with pytest.raises(ValueError):
+            GF2m(8, primitive_poly=0x11B)
+
+    def test_alpha_is_two_in_default_field(self):
+        assert GF256.alpha_pow(1) == 2
+        assert GF256.alpha_pow(0) == 1
+
+
+poly = st.lists(elements, min_size=1, max_size=8)
+
+
+class TestPolynomials:
+    @given(p=poly, q=poly)
+    def test_poly_add_commutative(self, p, q):
+        gf = GF256
+        assert gf.poly_add(p, q) == gf.poly_add(q, p)
+
+    @given(p=poly, q=poly, x=elements)
+    @settings(max_examples=150)
+    def test_poly_mul_matches_eval(self, p, q, x):
+        gf = GF256
+        lhs = gf.poly_eval(gf.poly_mul(p, q), x)
+        rhs = gf.mul(gf.poly_eval(p, x), gf.poly_eval(q, x))
+        assert lhs == rhs
+
+    @given(num=poly, den=poly)
+    @settings(max_examples=150)
+    def test_divmod_reconstructs(self, num, den):
+        gf = GF256
+        if all(c == 0 for c in den):
+            with pytest.raises(ZeroDivisionError):
+                gf.poly_divmod(num, den)
+            return
+        quot, rem = gf.poly_divmod(num, den)
+        recon = gf.poly_add(gf.poly_mul(quot, den), rem)
+        # Compare as polynomials (strip trailing zeros).
+        def norm(p):
+            p = list(p)
+            while p and p[-1] == 0:
+                p.pop()
+            return p
+        assert norm(recon) == norm(num)
+
+    def test_poly_eval_horner(self):
+        gf = GF256
+        # p(x) = 3 + 2x + x^2 at x = 2: 3 ^ (2*2) ^ (2^2=4) = 3^4^4 = 3
+        assert gf.poly_eval([3, 2, 1], 2) == 3
+
+    def test_poly_deriv_char2(self):
+        # d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+        assert GF256.poly_deriv([5, 7, 9, 11]) == [7, 0, 11]
+
+    def test_gf16_small_field(self):
+        for a in range(1, 16):
+            assert GF16.mul(a, GF16.inv(a)) == 1

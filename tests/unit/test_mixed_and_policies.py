@@ -1,0 +1,85 @@
+"""Unit tests for multiprogrammed mixes and scheduler policies."""
+
+import pytest
+
+from repro.perfsim.configs import SCHEME_CONFIGS
+from repro.perfsim.engine import simulate_system
+from repro.perfsim.timing import SystemTiming
+from repro.perfsim.workloads import workload_by_name
+
+MIX8 = [
+    workload_by_name(n)
+    for n in ("libquantum", "mcf", "gcc", "stream", "lbm", "omnetpp",
+              "wrf", "milc")
+]
+
+
+class TestMixedWorkloads:
+    def test_mix_runs_and_names_itself(self):
+        result = simulate_system(
+            MIX8, SCHEME_CONFIGS["ecc_dimm"], instructions_per_core=8_000
+        )
+        assert result.workload.startswith("mix(")
+        assert "libquantum" in result.workload
+        assert result.exec_bus_cycles > 0
+
+    def test_mix_requires_num_cores_entries(self):
+        with pytest.raises(ValueError):
+            simulate_system(
+                MIX8[:3], SCHEME_CONFIGS["ecc_dimm"],
+                instructions_per_core=1_000,
+            )
+
+    def test_mix_bounded_by_its_members(self):
+        """A mix finishes no earlier than 8x its lightest member's
+        per-core work and is dominated by its heaviest member."""
+        mix = simulate_system(
+            MIX8, SCHEME_CONFIGS["ecc_dimm"], instructions_per_core=8_000
+        )
+        heavy = simulate_system(
+            workload_by_name("libquantum"), SCHEME_CONFIGS["ecc_dimm"],
+            instructions_per_core=8_000,
+        )
+        light = simulate_system(
+            workload_by_name("gcc"), SCHEME_CONFIGS["ecc_dimm"],
+            instructions_per_core=8_000,
+        )
+        assert light.exec_bus_cycles < mix.exec_bus_cycles < (
+            heavy.exec_bus_cycles * 1.2
+        )
+
+    def test_mix_sees_chipkill_overhead_too(self):
+        base = simulate_system(
+            MIX8, SCHEME_CONFIGS["ecc_dimm"], instructions_per_core=8_000
+        )
+        ck = simulate_system(
+            MIX8, SCHEME_CONFIGS["chipkill"], instructions_per_core=8_000
+        )
+        assert ck.exec_bus_cycles > base.exec_bus_cycles
+
+
+class TestSchedulerPolicies:
+    def test_frfcfs_beats_fcfs_on_row_local_traffic(self):
+        w = workload_by_name("libquantum")
+        frfcfs = simulate_system(
+            w, SCHEME_CONFIGS["ecc_dimm"],
+            SystemTiming(scheduler="frfcfs"), instructions_per_core=10_000,
+        )
+        fcfs = simulate_system(
+            w, SCHEME_CONFIGS["ecc_dimm"],
+            SystemTiming(scheduler="fcfs"), instructions_per_core=10_000,
+        )
+        assert frfcfs.exec_bus_cycles <= fcfs.exec_bus_cycles
+        assert (
+            frfcfs.channel_stats.row_hit_rate
+            >= fcfs.channel_stats.row_hit_rate
+        )
+
+    def test_fcfs_still_correct(self):
+        w = workload_by_name("mcf")
+        result = simulate_system(
+            w, SCHEME_CONFIGS["ecc_dimm"],
+            SystemTiming(scheduler="fcfs"), instructions_per_core=5_000,
+        )
+        assert result.reads > 0
+        assert len(result.core_finish_times) == 8

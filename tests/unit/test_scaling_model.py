@@ -1,0 +1,86 @@
+"""Unit tests for the scaling-fault analytics (Table III, Section VIII)."""
+
+import math
+
+import pytest
+
+from repro.faultsim.scaling import ScalingFaultModel
+
+
+class TestWordProbabilities:
+    def test_p_word_faulty_approximation(self):
+        model = ScalingFaultModel(bit_error_rate=1e-4)
+        assert model.p_word_faulty == pytest.approx(64e-4, rel=0.01)
+
+    def test_zero_rate(self):
+        model = ScalingFaultModel(bit_error_rate=0.0)
+        assert model.p_word_faulty == 0.0
+        assert model.p_multiple_catch_words() == 0.0
+        assert model.serial_mode_interval_accesses() == math.inf
+
+    def test_promotion_probability_slightly_below_word(self):
+        model = ScalingFaultModel(bit_error_rate=1e-4)
+        assert 0 < model.promotion_probability < model.p_word_faulty
+
+
+class TestTableIII:
+    @pytest.mark.parametrize(
+        "rate,expected",
+        [(1e-4, 2.05e-5), (1e-5, 2.05e-7), (1e-6, 2.05e-9)],
+    )
+    def test_paper_approximation_matches_table(self, rate, expected):
+        model = ScalingFaultModel(bit_error_rate=rate)
+        assert model.p_multiple_catch_words_paper_approx() == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_exact_probability_binomial(self):
+        model = ScalingFaultModel(bit_error_rate=1e-4, chips_per_access=8)
+        p = model.p_word_faulty
+        expected = 1 - (1 - p) ** 8 - 8 * p * (1 - p) ** 7
+        assert model.p_multiple_catch_words() == pytest.approx(expected)
+
+    def test_scales_with_chip_count(self):
+        small = ScalingFaultModel(bit_error_rate=1e-4, chips_per_access=8)
+        large = ScalingFaultModel(bit_error_rate=1e-4, chips_per_access=16)
+        assert large.p_multiple_catch_words() > small.p_multiple_catch_words()
+
+    def test_serial_mode_interval_is_reciprocal(self):
+        model = ScalingFaultModel(bit_error_rate=1e-4)
+        assert model.serial_mode_interval_accesses() == pytest.approx(
+            1.0 / model.p_multiple_catch_words()
+        )
+
+
+class TestInterLineThreshold:
+    def test_paper_band_at_1e4(self):
+        """Section VIII: ~1e-12 chance that 10% of a row's 128 lines
+        carry scaling faults at a 1e-4 rate."""
+        model = ScalingFaultModel(bit_error_rate=1e-4)
+        p = model.p_row_reaches_threshold()
+        assert 1e-14 < p < 1e-10
+
+    def test_threshold_monotone_in_rate(self):
+        lo = ScalingFaultModel(bit_error_rate=1e-5).p_row_reaches_threshold()
+        hi = ScalingFaultModel(bit_error_rate=1e-3).p_row_reaches_threshold()
+        assert hi > lo
+
+    def test_threshold_monotone_in_cutoff(self):
+        model = ScalingFaultModel(bit_error_rate=1e-4)
+        loose = model.p_row_reaches_threshold(threshold=0.05)
+        strict = model.p_row_reaches_threshold(threshold=0.20)
+        assert loose > strict
+
+    def test_tail_sums_correctly_for_moderate_p(self):
+        # Cross-check against a direct binomial sum at a friendly rate.
+        model = ScalingFaultModel(bit_error_rate=5e-3)
+        p_line = model.p_word_faulty
+        n, need = 16, 2
+        direct = sum(
+            math.comb(n, k) * p_line**k * (1 - p_line) ** (n - k)
+            for k in range(need, n + 1)
+        )
+        computed = model.p_row_reaches_threshold(
+            lines_per_row=16, threshold=need / 16
+        )
+        assert computed == pytest.approx(direct, rel=1e-6)

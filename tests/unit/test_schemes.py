@@ -1,0 +1,204 @@
+"""Unit tests for the per-scheme reliability evaluators.
+
+Hand-crafted fault combinations pin down each scheme's survival rules:
+the table in :mod:`repro.faultsim.schemes`'s docstring, case by case.
+"""
+
+import random
+
+import pytest
+
+from repro.faultsim.fault import AddressRange, ChipFault, FaultSpace
+from repro.faultsim.fault_models import FailureMode
+from repro.faultsim.schemes import (
+    ChipkillScheme,
+    DoubleChipkillScheme,
+    EccDimmScheme,
+    FailureKind,
+    NonEccScheme,
+    XedChipkillScheme,
+    XedScheme,
+)
+
+SPACE = FaultSpace()
+
+
+def fault(chip, mode=FailureMode.SINGLE_BANK, *, rank=0, channel=0,
+          bank=0, time=100.0, permanent=True, correctable=None):
+    wildcard = SPACE.wildcard_for(mode)
+    if correctable is None:
+        correctable = mode.on_die_correctable
+    return ChipFault(
+        channel=channel, rank=rank, chip=chip, mode=mode,
+        permanent=permanent, time_hours=time,
+        addr=AddressRange(bank << SPACE.bank_shift, wildcard),
+        on_die_correctable=correctable,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1)
+
+
+class TestGeometry:
+    def test_chip_populations(self):
+        assert NonEccScheme().total_chips == 64
+        assert EccDimmScheme().total_chips == 72
+        assert XedScheme().total_chips == 72
+        assert ChipkillScheme().total_chips == 144
+        assert XedChipkillScheme().total_chips == 144
+        assert DoubleChipkillScheme().total_chips == 288
+
+    def test_min_faults_fast_path(self):
+        assert EccDimmScheme().min_faults == 1
+        assert XedScheme().min_faults == 1
+        assert ChipkillScheme().min_faults == 2
+        assert XedChipkillScheme().min_faults == 2
+        assert DoubleChipkillScheme().min_faults == 3
+
+
+class TestNonEccAndEccDimm:
+    def test_bit_fault_invisible(self, rng):
+        assert NonEccScheme().evaluate([fault(0, FailureMode.SINGLE_BIT)], rng) is None
+        assert EccDimmScheme().evaluate([fault(0, FailureMode.SINGLE_BIT)], rng) is None
+
+    @pytest.mark.parametrize("mode", [
+        FailureMode.SINGLE_WORD, FailureMode.SINGLE_COLUMN,
+        FailureMode.SINGLE_ROW, FailureMode.SINGLE_BANK,
+        FailureMode.MULTI_BANK,
+    ])
+    def test_any_visible_fault_fails_both(self, rng, mode):
+        assert NonEccScheme().evaluate([fault(0, mode)], rng) is not None
+        assert EccDimmScheme().evaluate([fault(0, mode)], rng) is not None
+
+    def test_non_ecc_failures_are_silent(self, rng):
+        outcome = NonEccScheme().evaluate([fault(0)], rng)
+        assert outcome.kind is FailureKind.SDC
+
+    def test_ecc_dimm_mixes_due_and_sdc(self):
+        scheme = EccDimmScheme(sdc_fraction=0.5)
+        kinds = set()
+        for seed in range(50):
+            outcome = scheme.evaluate([fault(0)], random.Random(seed))
+            kinds.add(outcome.kind)
+        assert kinds == {FailureKind.DUE, FailureKind.SDC}
+
+    def test_failure_time_is_first_fault(self, rng):
+        outcome = EccDimmScheme().evaluate(
+            [fault(0, time=500.0), fault(1, time=100.0)], rng
+        )
+        assert outcome.time_hours == 100.0
+
+
+class TestXed:
+    def test_single_chip_fault_of_any_size_survived(self, rng):
+        for mode in (FailureMode.SINGLE_COLUMN, FailureMode.SINGLE_ROW,
+                     FailureMode.SINGLE_BANK, FailureMode.MULTI_BANK):
+            assert XedScheme().evaluate([fault(3, mode)], rng) is None
+
+    def test_two_colliding_chips_fail(self, rng):
+        outcome = XedScheme().evaluate(
+            [fault(0, time=10.0), fault(1, time=50.0)], rng
+        )
+        assert outcome is not None
+        assert outcome.kind is FailureKind.DUE
+        assert outcome.time_hours == 50.0  # fatal when the second lands
+
+    def test_same_chip_twice_survived(self, rng):
+        assert XedScheme().evaluate([fault(2), fault(2)], rng) is None
+
+    def test_different_rank_pairs_survive(self, rng):
+        faults = [fault(0, rank=0), fault(1, rank=1)]
+        assert XedScheme().evaluate(faults, rng) is None
+
+    def test_different_bank_pairs_survive(self, rng):
+        faults = [fault(0, bank=0), fault(1, bank=1)]
+        assert XedScheme().evaluate(faults, rng) is None
+
+    def test_non_overlapping_times_survive_with_scrubbing(self, rng):
+        import dataclasses
+
+        a = dataclasses.replace(
+            fault(0, time=10.0, permanent=False), end_hours=20.0
+        )
+        b = fault(1, time=30.0)
+        assert XedScheme().evaluate([a, b], rng) is None
+
+    def test_bit_faults_never_contribute(self, rng):
+        faults = [fault(0, FailureMode.SINGLE_BIT),
+                  fault(1, FailureMode.SINGLE_BANK)]
+        assert XedScheme().evaluate(faults, rng) is None
+
+    def test_transient_word_due_tail(self):
+        scheme = XedScheme(on_die_miss_probability=1.0)  # force the miss
+        outcome = scheme.evaluate(
+            [fault(0, FailureMode.SINGLE_WORD, permanent=False)],
+            random.Random(0),
+        )
+        assert outcome is not None and outcome.kind is FailureKind.DUE
+
+    def test_permanent_word_fault_diagnosable(self):
+        scheme = XedScheme(on_die_miss_probability=1.0)
+        outcome = scheme.evaluate(
+            [fault(0, FailureMode.SINGLE_WORD, permanent=True)],
+            random.Random(0),
+        )
+        assert outcome is None  # intra-line diagnosis finds permanents
+
+    def test_misdiagnosis_sdc_tail(self):
+        scheme = XedScheme(misdiagnosis_sdc_probability=1.0)
+        outcome = scheme.evaluate([fault(0, FailureMode.SINGLE_ROW)],
+                                  random.Random(0))
+        assert outcome is not None and outcome.kind is FailureKind.SDC
+
+
+class TestChipkill:
+    def test_single_chip_survived(self, rng):
+        assert ChipkillScheme().evaluate([fault(7)], rng) is None
+
+    def test_colliding_pair_fails(self, rng):
+        outcome = ChipkillScheme().evaluate([fault(0), fault(9)], rng)
+        assert outcome is not None and outcome.kind is FailureKind.DUE
+
+    def test_transient_word_alone_survived(self, rng):
+        f = fault(0, FailureMode.SINGLE_WORD, permanent=False)
+        assert ChipkillScheme().evaluate([f], rng) is None
+
+
+class TestDoubleChipkillAndXedChipkill:
+    def test_pair_survived_by_both(self, rng):
+        pair = [fault(0), fault(1)]
+        assert DoubleChipkillScheme().evaluate(pair, rng) is None
+        assert XedChipkillScheme().evaluate(pair, rng) is None
+
+    def test_colliding_triple_fails_both(self, rng):
+        triple = [fault(0), fault(1), fault(2)]
+        for scheme in (DoubleChipkillScheme(), XedChipkillScheme()):
+            outcome = scheme.evaluate(triple, rng)
+            assert outcome is not None
+            assert outcome.kind is FailureKind.DUE
+
+    def test_triple_with_repeated_chip_is_only_a_pair(self, rng):
+        faults = [fault(0), fault(0), fault(1)]
+        assert DoubleChipkillScheme().evaluate(faults, rng) is None
+
+    def test_triple_failure_time_is_third_arrival(self, rng):
+        triple = [fault(0, time=10.0), fault(1, time=20.0),
+                  fault(2, time=30.0)]
+        outcome = DoubleChipkillScheme().evaluate(triple, rng)
+        assert outcome.time_hours == 30.0
+
+    def test_xed_chipkill_pair_with_undetected_member_fails(self):
+        scheme = XedChipkillScheme(on_die_miss_probability=1.0)
+        pair = [fault(0, FailureMode.SINGLE_WORD, permanent=False),
+                fault(1, FailureMode.SINGLE_BANK)]
+        # The word fault collides with the bank fault (same bank) and
+        # its on-die miss leaves e + 2v = 3 > 2 check symbols.
+        outcome = scheme.evaluate(pair, random.Random(0))
+        assert outcome is not None
+
+    def test_xed_chipkill_lone_miss_still_corrected(self):
+        scheme = XedChipkillScheme(on_die_miss_probability=1.0)
+        lone = [fault(0, FailureMode.SINGLE_WORD, permanent=False)]
+        assert scheme.evaluate(lone, random.Random(0)) is None

@@ -1,0 +1,79 @@
+"""Unit tests for the dependency-free SVG chart renderer."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.analysis.svgplot import (
+    bar_chart_svg,
+    line_chart_svg,
+    plot_performance_figure,
+    plot_reliability_figure,
+)
+
+
+class TestLineChart:
+    def test_valid_svg_with_series(self):
+        svg = line_chart_svg(
+            {"A": [(1, 1e-3), (2, 2e-3)], "B": [(1, 1e-5), (2, 4e-5)]},
+            "Test chart",
+        )
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "Test chart" in svg
+        assert svg.count("<path") == 2
+        assert "1e-3" in svg or "1e-" in svg  # log ticks rendered
+
+    def test_zero_values_dropped_in_log_mode(self):
+        svg = line_chart_svg({"A": [(1, 0.0), (2, 1e-4), (3, 2e-4)]}, "t")
+        assert svg.count("<path") == 1
+
+    def test_all_zero_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({"A": [(1, 0.0)]}, "t")
+
+    def test_linear_mode(self):
+        svg = line_chart_svg(
+            {"A": [(0, 0.0), (1, 0.5), (2, 1.0)]}, "t", log_y=False
+        )
+        assert "<path" in svg
+
+    def test_title_escaped(self):
+        svg = line_chart_svg({"A": [(1, 0.5)]}, "a<b&c", log_y=False)
+        assert "a&lt;b&amp;c" in svg
+
+
+class TestBarChart:
+    def test_groups_and_baseline(self):
+        svg = bar_chart_svg(
+            {"wl1": {"ck": 1.2, "dck": 1.8}, "wl2": {"ck": 1.1, "dck": 1.5}},
+            "Bars",
+        )
+        assert svg.count("<rect") >= 5  # background + 4 bars + legends
+        assert "stroke-dasharray" in svg  # the baseline rule
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg({}, "t")
+
+
+class TestFigurePlotters:
+    def test_reliability_figure(self, tmp_path):
+        report = run_experiment("fig7", scale="quick")
+        out = plot_reliability_figure(report, tmp_path / "fig7.svg")
+        content = out.read_text()
+        assert content.startswith("<svg")
+        assert "XED (9 chips)" in content
+
+    def test_performance_figure(self, tmp_path):
+        report = run_experiment("fig11", scale="quick")
+        out = plot_performance_figure(report, tmp_path / "fig11.svg")
+        content = out.read_text()
+        assert "Normalized Execution Time" in content
+        assert "libquantum" in content
+
+    def test_wrong_report_kind_rejected(self, tmp_path):
+        report = run_experiment("table3", scale="quick")
+        with pytest.raises(ValueError):
+            plot_reliability_figure(report, tmp_path / "x.svg")
+        with pytest.raises(ValueError):
+            plot_performance_figure(report, tmp_path / "x.svg")

@@ -1,0 +1,94 @@
+"""Unit tests for timing presets and controller page policies."""
+
+import pytest
+
+from repro.perfsim.configs import ECC_DIMM
+from repro.perfsim.dramsys import Channel
+from repro.perfsim.engine import simulate_system
+from repro.perfsim.requests import MemoryRequest, RequestType
+from repro.perfsim.timing import DDR4_2400, LPDDR4_3200, DDR3Timing, SystemTiming
+from repro.perfsim.workloads import workload_by_name
+
+
+class TestPresets:
+    def test_ddr4_internal_consistency(self):
+        assert DDR4_2400.tRC == DDR4_2400.tRAS + DDR4_2400.tRP
+        assert DDR4_2400.tCK_ns < DDR3Timing().tCK_ns  # faster clock
+
+    def test_lpddr4_internal_consistency(self):
+        assert LPDDR4_3200.tRC == LPDDR4_3200.tRAS + LPDDR4_3200.tRP
+        assert LPDDR4_3200.tBURST == 8  # BL16
+
+    def test_absolute_latencies_comparable(self):
+        # Core latencies in nanoseconds stay in the familiar DRAM range
+        # across standards (the cycle counts grow as clocks speed up).
+        for timing in (DDR3Timing(), DDR4_2400, LPDDR4_3200):
+            trcd_ns = timing.tRCD * timing.tCK_ns
+            assert 10.0 < trcd_ns < 25.0
+
+    def test_system_accepts_presets(self):
+        system = SystemTiming(ddr=DDR4_2400)
+        assert system.ddr.tCAS == 17
+
+
+def _one_access(system, row, column, now=0.0, arrival=0.0):
+    channel = Channel(system, ECC_DIMM, logical_ranks=2)
+    req = MemoryRequest(
+        req_type=RequestType.READ, core=0, channel=0, rank=0, bank=0,
+        row=row, column=column, arrival=arrival,
+    )
+    channel.push(req)
+    completed, _ = channel.pump(now)
+    return channel, completed[0][1]
+
+
+class TestPagePolicies:
+    def test_open_page_allows_row_hits(self):
+        system = SystemTiming(page_policy="open")
+        channel, first = _one_access(system, row=5, column=0)
+        req = MemoryRequest(
+            req_type=RequestType.READ, core=0, channel=0, rank=0, bank=0,
+            row=5, column=1, arrival=first,
+        )
+        channel.push(req)
+        channel.pump(first)
+        assert channel.stats.row_hits == 1
+
+    def test_closed_page_never_hits(self):
+        system = SystemTiming(page_policy="closed")
+        channel, first = _one_access(system, row=5, column=0)
+        req = MemoryRequest(
+            req_type=RequestType.READ, core=0, channel=0, rank=0, bank=0,
+            row=5, column=1, arrival=first,
+        )
+        channel.push(req)
+        channel.pump(first)
+        assert channel.stats.row_hits == 0
+        assert channel.stats.row_misses == 2
+
+    def test_closed_page_slower_on_streaming(self):
+        w = workload_by_name("libquantum")
+        open_run = simulate_system(
+            w, ECC_DIMM, SystemTiming(page_policy="open"),
+            instructions_per_core=10_000,
+        )
+        closed_run = simulate_system(
+            w, ECC_DIMM, SystemTiming(page_policy="closed"),
+            instructions_per_core=10_000,
+        )
+        assert closed_run.exec_bus_cycles > open_run.exec_bus_cycles
+
+    def test_ddr4_faster_wall_clock_on_bandwidth_bound(self):
+        w = workload_by_name("libquantum")
+        ddr3 = simulate_system(
+            w, ECC_DIMM, SystemTiming(), instructions_per_core=10_000
+        )
+        ddr4 = simulate_system(
+            w, ECC_DIMM, SystemTiming(ddr=DDR4_2400),
+            instructions_per_core=10_000,
+        )
+        # Same bus-cycle budget per burst but a 1.5x faster clock: the
+        # wall-clock execution time must improve.
+        assert ddr4.bus_cycle_ns == pytest.approx(DDR4_2400.tCK_ns)
+        assert ddr3.bus_cycle_ns == pytest.approx(1.25)
+        assert ddr4.exec_seconds < ddr3.exec_seconds
