@@ -11,13 +11,18 @@ from repro.analysis.experiments import (
     reproduce_all,
     run_experiment,
 )
-from repro.analysis.formatting import format_reliability_table, format_series
+from repro.analysis.formatting import (
+    format_metrics_table,
+    format_reliability_table,
+    format_series,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentReport",
     "reproduce_all",
     "run_experiment",
+    "format_metrics_table",
     "format_reliability_table",
     "format_series",
 ]

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.faultsim.simulator import ReliabilityResult
+from repro.obs import OBS, MetricsRegistry
 
 
 def format_series(
@@ -45,4 +46,35 @@ def format_reliability_table(
             ratio = result.improvement_over(baseline)
             line += f"  ({ratio:.1f}x vs {baseline.scheme_name})"
         lines.append(line)
+    return "\n".join(lines)
+
+
+def format_metrics_table(
+    registry: Optional[MetricsRegistry] = None,
+    title: str = "Observability metrics",
+) -> str:
+    """Render a metrics registry in the same aligned-table style as the
+    reliability/figure tables (defaults to the process-wide registry).
+
+    Counters and gauges are one row each; histograms/timers report
+    count, mean and max -- enough to spot a hot path or an error burst
+    without opening the full ``--metrics-out`` JSON.
+    """
+    registry = registry if registry is not None else OBS.registry
+    snap = registry.snapshot()
+    lines = [title, f"{'metric':40s} {'kind':10s} value"]
+    for name, value in snap["counters"].items():
+        lines.append(f"{name:40s} {'counter':10s} {value}")
+    for name, value in snap["gauges"].items():
+        lines.append(f"{name:40s} {'gauge':10s} {value:.6g}")
+    for kind in ("histograms", "timers"):
+        for name, hist in snap[kind].items():
+            label = kind[:-1]
+            mx = f"{hist['max']:.3g}" if hist["max"] is not None else "-"
+            lines.append(
+                f"{name:40s} {label:10s} "
+                f"n={hist['count']} mean={hist['mean']:.3g} max={mx}"
+            )
+    if len(lines) == 2:
+        lines.append("  (no metrics recorded)")
     return "\n".join(lines)

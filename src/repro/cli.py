@@ -11,6 +11,12 @@ Sub-commands mirror the library's layers:
 * ``repro collision --bits 32`` -- catch-word collision analytics.
 * ``repro campaign --kind xed --trials 40 --chips 1`` -- behavioural
   fault-injection campaigns.
+
+Every sub-command additionally accepts the observability flags
+``--log-level LEVEL``, ``--metrics-out PATH`` (JSON metrics dump) and
+``--trace-out PATH`` (JSON-lines event trace); see :mod:`repro.obs`.
+Long ``reliability``/``campaign``/``perf`` runs show a live progress
+line on stderr when it is a terminal.
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.version import __version__
+
+#: Accepted values for the global ``--log-level`` flag.
+LOG_LEVELS = ("debug", "info", "warning", "error")
 
 #: Monte-Carlo scheme registry for the reliability sub-command.
 RELIABILITY_SCHEMES = {
@@ -32,22 +41,51 @@ RELIABILITY_SCHEMES = {
 }
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """The observability flags, shared by the root and every sub-command.
+
+    Defaults are ``SUPPRESS`` so the flags may appear on either side of
+    the sub-command: a sub-parser only copies attributes it actually
+    parsed, instead of clobbering root-level values with ``None``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=argparse.SUPPRESS,
+        help="enable structured logging on stderr at this level",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=argparse.SUPPRESS,
+        help="write the metrics registry as JSON after the command",
+    )
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=argparse.SUPPRESS,
+        help="write the structured event trace as JSON lines",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
+    obs_flags = _obs_parent()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="XED (ISCA 2016) reproduction toolkit",
+        parents=[obs_flags],
     )
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the registered paper experiments")
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[obs_flags], **kwargs)
 
-    exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    add_parser("list", help="list the registered paper experiments")
+
+    exp = add_parser("experiment", help="regenerate one table/figure")
     exp.add_argument("experiment_id", help="e.g. fig7, table2")
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
     exp.add_argument("--seed", type=int, default=2016)
 
-    rel = sub.add_parser("reliability", help="Monte-Carlo scheme comparison")
+    rel = add_parser("reliability", help="Monte-Carlo scheme comparison")
     rel.add_argument(
         "--schemes", nargs="+", default=["ecc_dimm", "xed", "chipkill"],
         choices=sorted(RELIABILITY_SCHEMES),
@@ -58,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--scrub-hours", type=float, default=None)
     rel.add_argument("--seed", type=int, default=2016)
 
-    perf = sub.add_parser("perf", help="performance/power grid")
+    perf = add_parser("perf", help="performance/power grid")
     perf.add_argument("--workloads", nargs="+", default=["libquantum", "mcf"])
     perf.add_argument(
         "--schemes", nargs="+",
@@ -70,12 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", choices=("time", "power", "both"), default="both"
     )
 
-    col = sub.add_parser("collision", help="catch-word collision analytics")
+    col = add_parser("collision", help="catch-word collision analytics")
     col.add_argument("--bits", type=int, default=64)
     col.add_argument("--write-interval", type=float, default=5.53e-6,
                      help="seconds between novel writes per chip")
 
-    all_cmd = sub.add_parser(
+    all_cmd = add_parser(
         "all", help="regenerate every table/figure, optionally exporting"
     )
     all_cmd.add_argument("--scale", choices=("quick", "full"), default="quick")
@@ -85,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd.add_argument("--svg", action="store_true",
                          help="also render SVG charts where applicable")
 
-    exp_out = sub.add_parser(
+    exp_out = add_parser(
         "export", help="regenerate an experiment and write text + CSVs"
     )
     exp_out.add_argument("experiment_id")
@@ -95,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_out.add_argument("--svg", action="store_true",
                          help="also render an SVG chart where applicable")
 
-    camp = sub.add_parser("campaign", help="behavioural fault campaign")
+    camp = add_parser("campaign", help="behavioural fault campaign")
     camp.add_argument("--kind", choices=("xed", "chipkill"), default="xed")
     camp.add_argument("--trials", type=int, default=30)
     camp.add_argument("--chips", type=int, default=1,
@@ -241,8 +279,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if result.sdc_count == 0 else 1
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "experiment":
@@ -260,6 +297,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "campaign":
         return _cmd_campaign(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    # SUPPRESS defaults leave the attributes unset when flags are absent.
+    args.log_level = getattr(args, "log_level", None)
+    args.metrics_out = getattr(args, "metrics_out", None)
+    args.trace_out = getattr(args, "trace_out", None)
+
+    from repro.obs import OBS, configure, get_logger
+
+    enabled = configure(
+        log_level=args.log_level,
+        metrics=args.metrics_out is not None,
+        trace=args.trace_out is not None,
+        # Live progress for long runs; the reporter additionally
+        # requires stderr to be a TTY, so logs and pipes stay clean.
+        progress=True,
+    )
+    try:
+        code = _dispatch(args)
+    finally:
+        if enabled:
+            for path, write in (
+                (args.metrics_out, OBS.registry.dump_json),
+                (args.trace_out, OBS.trace.write_jsonl),
+            ):
+                if path:
+                    try:
+                        write(path)
+                    except OSError as exc:
+                        print(f"repro: cannot write {path}: {exc}",
+                              file=sys.stderr)
+                        code = 2
+            if args.log_level in ("debug", "info"):
+                from repro.analysis import format_metrics_table
+
+                get_logger("cli").info(
+                    "metrics summary:\n%s", format_metrics_table()
+                )
+        OBS.disable()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

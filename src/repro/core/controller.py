@@ -32,6 +32,9 @@ from repro.core.diagnosis import (
 from repro.core.parity import parity_residue, reconstruct_line, xor_parity
 from repro.core.types import ReadStatus, XedReadResult
 from repro.dram.dimm import XedDimm
+from repro.obs import OBS, events, get_logger
+
+log = get_logger("core.controller")
 
 
 class XedController:
@@ -107,6 +110,9 @@ class XedController:
         reg.record_collision(self._rng)
         self.dimm.chips[chip_idx].regs.set_catch_word(reg.value)
         self.stats["catch_word_updates"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("catch_word_rotation").inc()
+            log.debug("rotated catch-word of chip %d after collision", chip_idx)
 
     # -- writes --------------------------------------------------------------
 
@@ -115,6 +121,8 @@ class XedController:
     ) -> None:
         """Write a cache line (8 x 64-bit words) plus RAID-3 parity."""
         self.stats["writes"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("controller.writes").inc()
         self.dimm.write_line(bank, row, column, list(words))
 
     def write_bytes(self, bank: int, row: int, column: int, data: bytes) -> None:
@@ -140,6 +148,14 @@ class XedController:
             if self.registers[i].matches(value)
         ]
         self.stats["catch_words_seen"] += len(cw_chips)
+        if OBS.enabled:
+            OBS.registry.counter("controller.reads").inc()
+            if cw_chips:
+                OBS.registry.counter("catch_word_detected").inc(len(cw_chips))
+                for chip_idx in cw_chips:
+                    OBS.trace.record(
+                        events.CatchWordDetected(chip_idx, bank, row, column)
+                    )
         residue = parity_residue(transfers)
 
         # A chip already convicted by the FCT is treated as an erasure on
@@ -175,10 +191,20 @@ class XedController:
         fixed = reconstruct_line(transfers, chip_idx)
         self.stats["erasure_corrections"] += 1
         collision = fixed[chip_idx] == self.registers[chip_idx].value
+        if OBS.enabled:
+            OBS.registry.counter("erasure_reconstruction").inc()
+            OBS.trace.record(
+                events.ErasureReconstruction(
+                    chip_idx, bank, row, column,
+                    method="catch_word", collision=collision,
+                )
+            )
         if collision:
             # The data legitimately equals the catch-word: a collision
             # episode.  The value is still correct; rotate the word.
             self.stats["collisions"] += 1
+            if OBS.enabled:
+                OBS.registry.counter("catch_word_collision").inc()
             self._rotate_catch_word(chip_idx)
         return XedReadResult(
             ReadStatus.CORRECTED_ERASURE,
@@ -193,6 +219,9 @@ class XedController:
     def _serial_mode_read(self, bank: int, row: int, column: int) -> List[int]:
         """Clear XED-Enable, re-read corrected data, restore XED-Enable."""
         self.stats["serial_mode_entries"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("serial_retry").inc()
+            OBS.trace.record(events.SerialRetry(bank, row, column))
         for chip in self.dimm.chips:
             chip.regs.set_xed_enable(False)
         corrected = [chip.read(bank, row, column) for chip in self.dimm.chips]
@@ -233,35 +262,61 @@ class XedController:
         inter = inter_line_diagnosis(self.dimm, self.catch_words, bank, row)
         intra = intra_line_diagnosis(self.dimm, bank, row, column)
 
+        def emit(verdict: Optional[int], method: Optional[str]) -> None:
+            if OBS.enabled:
+                OBS.registry.counter("diagnosis_run").inc()
+                OBS.trace.record(
+                    events.DiagnosisRun(
+                        bank, row, column,
+                        inter_chip=inter.faulty_chip,
+                        intra_chip=intra.faulty_chip,
+                        ambiguous=inter.ambiguous or intra.ambiguous,
+                        verdict=verdict,
+                        method=method,
+                    )
+                )
+                if verdict is None:
+                    log.debug(
+                        "diagnosis DUE at bank=%d row=%d col=%d "
+                        "(inter=%s intra=%s)",
+                        bank, row, column, inter.faulty_chip, intra.faulty_chip,
+                    )
+
         # Cross-check the two diagnoses before trusting either: two
         # suspects in one line (or disagreeing unique verdicts) mean at
         # least two failing chips, beyond single-parity reconstruction
         # -- report an honest DUE instead of rebuilding one chip from
         # another chip's garbage.
         if inter.ambiguous or intra.ambiguous:
-            self.stats["dues"] += 1
-            return XedReadResult(ReadStatus.DUE, transfers[:-1])
+            return self._record_due(transfers, emit)
         if (
             inter.identified
             and intra.identified
             and inter.faulty_chip != intra.faulty_chip
         ):
-            self.stats["dues"] += 1
-            return XedReadResult(ReadStatus.DUE, transfers[:-1])
+            return self._record_due(transfers, emit)
 
         # Intra-line is line-local ground truth for permanent damage, so
         # it takes precedence; inter-line covers the spatially-spread
         # (row/column/bank) and transient-large cases.
         if intra.identified:
+            emit(intra.faulty_chip, "intra")
             return self._erasure_correct(
                 bank, row, column, transfers, intra.faulty_chip, method="intra"
             )
         if inter.identified:
+            emit(inter.faulty_chip, "inter")
             self.fct.record(bank, row, inter.faulty_chip)
             return self._erasure_correct(
                 bank, row, column, transfers, inter.faulty_chip, method="inter"
             )
+        return self._record_due(transfers, emit)
+
+    def _record_due(self, transfers, emit) -> XedReadResult:
         self.stats["dues"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("due").inc()
+        emit(None, None)
         return XedReadResult(ReadStatus.DUE, transfers[:-1])
 
     def _erasure_correct(
@@ -280,6 +335,13 @@ class XedController:
         base = self._serial_mode_read(bank, row, column)
         fixed = reconstruct_line(base, faulty_chip)
         self.stats["erasure_corrections"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("erasure_reconstruction").inc()
+            OBS.trace.record(
+                events.ErasureReconstruction(
+                    faulty_chip, bank, row, column, method=method
+                )
+            )
         return XedReadResult(
             ReadStatus.CORRECTED_DIAGNOSED,
             fixed[:-1],

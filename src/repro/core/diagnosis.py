@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro.obs import span
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dram.dimm import XedDimm
 
@@ -117,11 +119,12 @@ def inter_line_diagnosis(
     """
     lines = min(row_buffer_lines, dimm.geometry.columns_per_row)
     counts: Dict[int, int] = {i: 0 for i in range(dimm.num_chips)}
-    for column in range(lines):
-        for chip_idx, chip in enumerate(dimm.chips):
-            value = chip.read(bank, row, column)
-            if value == catch_words[chip_idx]:
-                counts[chip_idx] += 1
+    with span("diagnosis.inter_line_s"):
+        for column in range(lines):
+            for chip_idx, chip in enumerate(dimm.chips):
+                value = chip.read(bank, row, column)
+                if value == catch_words[chip_idx]:
+                    counts[chip_idx] += 1
     cutoff = max(1, int(threshold * lines))
     ranked = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
     top_chip, top_count = ranked[0]
@@ -154,25 +157,26 @@ def intra_line_diagnosis(
     cannot be located -- the documented DUE case.
     """
     word_mask = (1 << dimm.word_bits) - 1
-    # Buffer the line (raw, XED off so we see data not catch-words).
-    saved_enable = [chip.regs.xed_enable for chip in dimm.chips]
-    for chip in dimm.chips:
-        chip.regs.set_xed_enable(False)
-    buffered = [chip.read(bank, row, column) for chip in dimm.chips]
-
-    failures: Dict[int, int] = {i: 0 for i in range(dimm.num_chips)}
-    for pattern in (0, word_mask):
+    with span("diagnosis.intra_line_s"):
+        # Buffer the line (raw, XED off so we see data not catch-words).
+        saved_enable = [chip.regs.xed_enable for chip in dimm.chips]
         for chip in dimm.chips:
-            chip.write(bank, row, column, pattern)
-        for chip_idx, chip in enumerate(dimm.chips):
-            if chip.read(bank, row, column) != pattern:
-                failures[chip_idx] += 1
+            chip.regs.set_xed_enable(False)
+        buffered = [chip.read(bank, row, column) for chip in dimm.chips]
 
-    # Restore the buffered content and the XED-Enable bits.
-    for chip, value in zip(dimm.chips, buffered):
-        chip.write(bank, row, column, value)
-    for chip, enable in zip(dimm.chips, saved_enable):
-        chip.regs.set_xed_enable(enable)
+        failures: Dict[int, int] = {i: 0 for i in range(dimm.num_chips)}
+        for pattern in (0, word_mask):
+            for chip in dimm.chips:
+                chip.write(bank, row, column, pattern)
+            for chip_idx, chip in enumerate(dimm.chips):
+                if chip.read(bank, row, column) != pattern:
+                    failures[chip_idx] += 1
+
+        # Restore the buffered content and the XED-Enable bits.
+        for chip, value in zip(dimm.chips, buffered):
+            chip.write(bank, row, column, value)
+        for chip, enable in zip(dimm.chips, saved_enable):
+            chip.regs.set_xed_enable(enable)
 
     faulty = [idx for idx, n in failures.items() if n > 0]
     if len(faulty) == 1:

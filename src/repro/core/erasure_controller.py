@@ -22,6 +22,7 @@ from repro.core.catch_word import CatchWordRegister
 from repro.core.types import ReadStatus, XedReadResult
 from repro.dram.dimm import ChipkillRank
 from repro.ecc.reed_solomon import RSDecodeFailure
+from repro.obs import OBS, events
 
 
 class XedChipkillController:
@@ -81,6 +82,8 @@ class XedChipkillController:
     ) -> None:
         """Write one line of data symbols; RS check chips filled by the rank."""
         self.stats["writes"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("controller.writes").inc()
         self.rank.write_line(bank, row, column, list(words))
 
     # -- reads ----------------------------------------------------------------
@@ -88,6 +91,9 @@ class XedChipkillController:
     def _serial_mode_values(self, bank: int, row: int, column: int) -> List[int]:
         """Re-read with XED disabled so on-die-corrected data comes back."""
         self.stats["serial_mode_entries"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("serial_retry").inc()
+            OBS.trace.record(events.SerialRetry(bank, row, column))
         for chip in self.rank.chips:
             chip.regs.set_xed_enable(False)
         values = [chip.read(bank, row, column) for chip in self.rank.chips]
@@ -104,6 +110,14 @@ class XedChipkillController:
             if self.registers[i].matches(value)
         ]
         self.stats["catch_words_seen"] += len(cw_chips)
+        if OBS.enabled:
+            OBS.registry.counter("controller.reads").inc()
+            if cw_chips:
+                OBS.registry.counter("catch_word_detected").inc(len(cw_chips))
+                for chip_idx in cw_chips:
+                    OBS.trace.record(
+                        events.CatchWordDetected(chip_idx, bank, row, column)
+                    )
 
         if len(cw_chips) > self.rank.check_chips:
             # More erasures than check symbols: scaling faults in many
@@ -141,6 +155,8 @@ class XedChipkillController:
                 decoded = self.rank.rs.decode(received, erasures=erasures)
             except RSDecodeFailure:
                 self.stats["dues"] += 1
+                if OBS.enabled:
+                    OBS.registry.counter("due").inc()
                 return XedReadResult(ReadStatus.DUE, out_words)
             corrected_any |= decoded.detected
             for i in range(self.rank.data_chips):
@@ -148,9 +164,19 @@ class XedChipkillController:
         if erasures and corrected_any:
             self.stats["erasure_corrections"] += 1
             status = ReadStatus.CORRECTED_ERASURE
+            if OBS.enabled:
+                OBS.registry.counter("erasure_reconstruction").inc()
+                for chip_idx in erasures:
+                    OBS.trace.record(
+                        events.ErasureReconstruction(
+                            chip_idx, bank, row, column, method="rs_erasure"
+                        )
+                    )
         elif corrected_any:
             self.stats["error_corrections"] += 1
             status = ReadStatus.CORRECTED_ONDIE
+            if OBS.enabled:
+                OBS.registry.counter("ondie_correction").inc()
         else:
             status = ReadStatus.CLEAN
         return XedReadResult(status, out_words)
@@ -165,6 +191,9 @@ class XedChipkillController:
             if result.words[chip_idx] == self.registers[chip_idx].value:
                 result.collision = True
                 self.stats["collisions"] += 1
+                if OBS.enabled:
+                    OBS.registry.counter("catch_word_collision").inc()
+                    OBS.registry.counter("catch_word_rotation").inc()
                 reg = self.registers[chip_idx]
                 reg.record_collision(self._rng)
                 self.rank.chips[chip_idx].regs.set_catch_word(reg.value)

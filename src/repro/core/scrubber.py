@@ -16,6 +16,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.controller import XedController
 from repro.core.types import ReadStatus
+from repro.obs import OBS, events, span
 
 
 @dataclass
@@ -86,9 +87,11 @@ class PatrolScrubber:
     ) -> ScrubReport:
         """Scrub a sub-region (all rows of all banks by default)."""
         report = ScrubReport()
-        for bank in banks if banks is not None else range(self.banks):
-            for row in rows if rows is not None else range(self.rows):
-                self._scrub_row(bank, row, report)
+        with span("scrub.region_s"):
+            for bank in banks if banks is not None else range(self.banks):
+                for row in rows if rows is not None else range(self.rows):
+                    self._scrub_row(bank, row, report)
+        self._emit_pass(report)
         return report
 
     def _scrub_row(self, bank: int, row: int, report: ScrubReport) -> None:
@@ -110,7 +113,21 @@ class PatrolScrubber:
             row = 0
             bank = (bank + 1) % self.banks
         self._cursor = (bank, row)
+        self._emit_pass(report)
         return report
+
+    def _emit_pass(self, report: ScrubReport) -> None:
+        if OBS.enabled:
+            OBS.registry.counter("scrub.passes").inc()
+            OBS.registry.counter("scrub.lines").inc(report.lines_scrubbed)
+            OBS.trace.record(
+                events.ScrubPass(
+                    report.lines_scrubbed,
+                    report.clean,
+                    report.corrected,
+                    report.uncorrectable,
+                )
+            )
 
     @property
     def rows_per_full_patrol(self) -> int:

@@ -15,12 +15,17 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.controller import XedController
 from repro.core.erasure_controller import XedChipkillController
 from repro.dram.chip import FaultGranularity
 from repro.dram.dimm import ChipkillRank, XedDimm
+from repro.obs import OBS, events, get_logger, span
+from repro.obs.progress import progress
+
+log = get_logger("faultsim.campaign")
 
 
 class Outcome(enum.Enum):
@@ -49,16 +54,39 @@ class Scenario:
 
 @dataclass
 class CampaignResult:
-    """Aggregated outcomes of a behavioural campaign."""
+    """Aggregated outcomes of a behavioural campaign.
+
+    Outcome counts are maintained incrementally by :meth:`append`; the
+    ``counts`` property is O(1) rather than rescanning ``scenarios`` on
+    every access (``format_summary`` alone reads it four times).  Code
+    that appends to ``scenarios`` directly is still correct: a cheap
+    staleness check triggers one recount.
+    """
 
     scenarios: List[Scenario] = field(default_factory=list)
+    _counts: Dict[Outcome, int] = field(
+        default_factory=lambda: {o: 0 for o in Outcome}, repr=False
+    )
+    _counted: int = field(default=0, repr=False)
+
+    def append(self, scenario: Scenario) -> None:
+        """Record one scenario, keeping the outcome tally current."""
+        self._refresh()
+        self.scenarios.append(scenario)
+        self._counts[scenario.outcome] += 1
+        self._counted += 1
+
+    def _refresh(self) -> None:
+        if self._counted != len(self.scenarios):
+            self._counts = {o: 0 for o in Outcome}
+            for s in self.scenarios:
+                self._counts[s.outcome] += 1
+            self._counted = len(self.scenarios)
 
     @property
     def counts(self) -> Dict[Outcome, int]:
-        out: Dict[Outcome, int] = {o: 0 for o in Outcome}
-        for s in self.scenarios:
-            out[s.outcome] += 1
-        return out
+        self._refresh()
+        return dict(self._counts)
 
     @property
     def total(self) -> int:
@@ -75,15 +103,42 @@ class CampaignResult:
         counts = self.counts
         return (counts[Outcome.CLEAN] + counts[Outcome.CORRECTED]) / self.total
 
-    def format_summary(self) -> str:
+    def counts_by_granularity(self) -> Dict[str, Dict[Outcome, int]]:
+        """Outcome tallies per injected fault granularity.
+
+        A scenario with faults in several chips counts once under each
+        distinct granularity it injected, so the per-granularity rows
+        can sum to more than ``total``.
+        """
+        out: Dict[str, Dict[Outcome, int]] = {}
+        for s in self.scenarios:
+            for gran in {g.value for g in s.granularities}:
+                row = out.setdefault(gran, {o: 0 for o in Outcome})
+                row[s.outcome] += 1
+        return out
+
+    def format_summary(self, by_granularity: bool = True) -> str:
         counts = self.counts
-        return (
+        lines = [
             f"{self.total} scenarios: "
             f"{counts[Outcome.CLEAN]} clean, "
             f"{counts[Outcome.CORRECTED]} corrected, "
             f"{counts[Outcome.DUE]} DUE, "
             f"{counts[Outcome.SDC]} SDC"
-        )
+        ]
+        if by_granularity and self.scenarios:
+            breakdown = self.counts_by_granularity()
+            width = max(len(g) for g in breakdown)
+            for gran in sorted(breakdown):
+                row = breakdown[gran]
+                lines.append(
+                    f"  {gran:<{width}} : "
+                    f"{row[Outcome.CLEAN]} clean, "
+                    f"{row[Outcome.CORRECTED]} corrected, "
+                    f"{row[Outcome.DUE]} DUE, "
+                    f"{row[Outcome.SDC]} SDC"
+                )
+        return "\n".join(lines)
 
 
 #: Fault granularities injected by default campaigns.
@@ -114,42 +169,55 @@ def run_xed_campaign(
     transient-word tail.
     """
     result = CampaignResult()
-    for trial in range(trials):
-        rng = random.Random((seed << 16) ^ trial)
-        dimm = XedDimm.build(seed=trial, scaling_ber=scaling_ber)
-        ctrl = XedController(dimm, seed=trial + 1)
-        bank, row = rng.randrange(8), rng.randrange(512)
-        columns = rng.sample(range(128), lines_per_trial)
-        expected = {}
-        for col in columns:
-            line = [rng.getrandbits(64) for _ in range(8)]
-            expected[col] = line
-            ctrl.write_line(bank, row, col, line)
+    started = perf_counter()
+    reporter = progress(trials, "campaign xed")
+    with span("campaign.xed_s"):
+        for trial in range(trials):
+            rng = random.Random((seed << 16) ^ trial)
+            dimm = XedDimm.build(seed=trial, scaling_ber=scaling_ber)
+            ctrl = XedController(dimm, seed=trial + 1)
+            bank, row = rng.randrange(8), rng.randrange(512)
+            columns = rng.sample(range(128), lines_per_trial)
+            expected = {}
+            for col in columns:
+                line = [rng.getrandbits(64) for _ in range(8)]
+                expected[col] = line
+                ctrl.write_line(bank, row, col, line)
 
-        chips = rng.sample(range(9), faulty_chips)
-        grans = []
-        permanent = rng.random() < 0.7
-        for chip in chips:
-            gran = rng.choice(list(granularities))
-            grans.append(gran)
-            dimm.inject_chip_failure(
-                chip=chip,
-                granularity=gran,
-                permanent=permanent,
-                bank=bank,
-                row=row,
-                column=columns[0],
-                bit=rng.randrange(64),
-                seed=trial ^ chip,
-            )
+            chips = rng.sample(range(9), faulty_chips)
+            grans = []
+            permanent = rng.random() < 0.7
+            for chip in chips:
+                gran = rng.choice(list(granularities))
+                grans.append(gran)
+                dimm.inject_chip_failure(
+                    chip=chip,
+                    granularity=gran,
+                    permanent=permanent,
+                    bank=bank,
+                    row=row,
+                    column=columns[0],
+                    bit=rng.randrange(64),
+                    seed=trial ^ chip,
+                )
 
-        for col in columns:
-            read = ctrl.read_line(bank, row, col)
-            outcome = _classify(read.ok, read.words == expected[col],
-                                read.status.value)
-            result.scenarios.append(
-                Scenario(grans, chips, permanent, outcome, read.status.value)
-            )
+            outcomes = []
+            for col in columns:
+                read = ctrl.read_line(bank, row, col)
+                outcome = _classify(read.ok, read.words == expected[col],
+                                    read.status.value)
+                outcomes.append(outcome)
+                result.append(
+                    Scenario(grans, chips, permanent, outcome, read.status.value)
+                )
+                _observe_read(
+                    trial, bank, row, col, outcome, read.status.value,
+                    grans, chips, permanent,
+                )
+            _observe_trial(trial, "xed", outcomes)
+            reporter.update()
+    reporter.close()
+    _observe_campaign("xed", trials, result, perf_counter() - started)
     return result
 
 
@@ -165,35 +233,46 @@ def run_chipkill_campaign(
     scenario -- the Double-Chipkill-level claim.
     """
     result = CampaignResult()
-    for trial in range(trials):
-        rng = random.Random((seed << 16) ^ trial)
-        rank = ChipkillRank(seed=trial)
-        ctrl = XedChipkillController(rank, seed=trial + 1)
-        bank, row, col = rng.randrange(8), rng.randrange(512), rng.randrange(128)
-        line = [rng.getrandbits(64) for _ in range(16)]
-        ctrl.write_line(bank, row, col, line)
+    started = perf_counter()
+    reporter = progress(trials, "campaign chipkill")
+    with span("campaign.chipkill_s"):
+        for trial in range(trials):
+            rng = random.Random((seed << 16) ^ trial)
+            rank = ChipkillRank(seed=trial)
+            ctrl = XedChipkillController(rank, seed=trial + 1)
+            bank, row, col = rng.randrange(8), rng.randrange(512), rng.randrange(128)
+            line = [rng.getrandbits(64) for _ in range(16)]
+            ctrl.write_line(bank, row, col, line)
 
-        chips = rng.sample(range(rank.num_chips), faulty_chips)
-        grans = []
-        for chip in chips:
-            gran = rng.choice(list(granularities))
-            grans.append(gran)
-            rank.inject_chip_failure(
-                chip=chip,
-                granularity=gran,
-                permanent=True,
-                bank=bank,
-                row=row,
-                column=col,
-                bit=rng.randrange(rank.word_bits),
-                seed=trial ^ chip,
+            chips = rng.sample(range(rank.num_chips), faulty_chips)
+            grans = []
+            for chip in chips:
+                gran = rng.choice(list(granularities))
+                grans.append(gran)
+                rank.inject_chip_failure(
+                    chip=chip,
+                    granularity=gran,
+                    permanent=True,
+                    bank=bank,
+                    row=row,
+                    column=col,
+                    bit=rng.randrange(rank.word_bits),
+                    seed=trial ^ chip,
+                )
+
+            read = ctrl.read_line(bank, row, col)
+            outcome = _classify(read.ok, read.words == line, read.status.value)
+            result.append(
+                Scenario(grans, chips, True, outcome, read.status.value)
             )
-
-        read = ctrl.read_line(bank, row, col)
-        outcome = _classify(read.ok, read.words == line, read.status.value)
-        result.scenarios.append(
-            Scenario(grans, chips, True, outcome, read.status.value)
-        )
+            _observe_read(
+                trial, bank, row, col, outcome, read.status.value,
+                grans, chips, True,
+            )
+            _observe_trial(trial, "chipkill", [outcome])
+            reporter.update()
+    reporter.close()
+    _observe_campaign("chipkill", trials, result, perf_counter() - started)
     return result
 
 
@@ -205,3 +284,60 @@ def _classify(ok: bool, data_correct: bool, status: str) -> Outcome:
     if status == "clean":
         return Outcome.CLEAN
     return Outcome.CORRECTED
+
+
+#: Severity order used to pick a trial's headline outcome.
+_SEVERITY = (Outcome.SDC, Outcome.DUE, Outcome.CORRECTED, Outcome.CLEAN)
+
+
+def _observe_read(
+    trial: int,
+    bank: int,
+    row: int,
+    column: int,
+    outcome: Outcome,
+    status: str,
+    grans: Sequence[FaultGranularity],
+    chips: Sequence[int],
+    permanent: bool,
+) -> None:
+    if not OBS.enabled:
+        return
+    OBS.registry.counter("campaign.reads").inc()
+    OBS.registry.counter(f"campaign.outcome.{outcome.value}").inc()
+    for gran in {g.value for g in grans}:
+        OBS.registry.counter(f"campaign.outcome.{gran}.{outcome.value}").inc()
+    OBS.trace.record(
+        events.ReadClassified(
+            trial, bank, row, column, outcome.value, status,
+            granularities=[g.value for g in grans],
+            chips=list(chips),
+            permanent=permanent,
+        )
+    )
+
+
+def _observe_trial(trial: int, kind: str, outcomes: Sequence[Outcome]) -> None:
+    if not OBS.enabled:
+        return
+    OBS.registry.counter("campaign.trials").inc()
+    worst = next(o for o in _SEVERITY if o in outcomes)
+    detail = {o.value: outcomes.count(o) for o in Outcome if o in outcomes}
+    OBS.trace.record(
+        events.TrialCompleted(trial, f"campaign.{kind}", worst.value, detail)
+    )
+    if worst in (Outcome.SDC, Outcome.DUE):
+        log.warning("trial %d (%s) ended %s", trial, kind, worst.value)
+
+
+def _observe_campaign(
+    kind: str, trials: int, result: CampaignResult, elapsed_s: float
+) -> None:
+    if not OBS.enabled:
+        return
+    if elapsed_s > 0:
+        OBS.registry.gauge(f"campaign.{kind}.trials_per_s").set(trials / elapsed_s)
+        OBS.registry.gauge(f"campaign.{kind}.reads_per_s").set(
+            result.total / elapsed_s
+        )
+    log.info("campaign %s: %s", kind, result.format_summary(by_granularity=False))

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -20,6 +21,10 @@ import numpy as np
 from repro.faultsim.fault_models import FitTable, HOURS_PER_YEAR, LIFETIME_YEARS
 from repro.faultsim.injector import FaultSampler
 from repro.faultsim.schemes import FailureKind, ProtectionScheme
+from repro.obs import OBS, events, get_logger
+from repro.obs.progress import progress
+
+log = get_logger("faultsim.simulator")
 
 
 @dataclass
@@ -177,6 +182,8 @@ def simulate(
     failure_times: List[float] = []
     kinds: List[FailureKind] = []
 
+    started = perf_counter()
+    reporter = progress(config.num_systems, f"reliability {scheme.name}")
     remaining = config.num_systems
     base_index = 0
     while remaining > 0:
@@ -190,8 +197,36 @@ def simulate(
             if outcome is not None:
                 failure_times.append(outcome.time_hours)
                 kinds.append(outcome.kind)
+                if OBS.enabled:
+                    OBS.registry.counter("faultsim.failures").inc()
+                    OBS.registry.counter(
+                        f"faultsim.failure.{outcome.kind.value}"
+                    ).inc()
+                    OBS.trace.record(
+                        events.TrialCompleted(
+                            int(system.index),
+                            f"monte_carlo.{scheme.name}",
+                            outcome.kind.value,
+                            {"time_hours": int(outcome.time_hours)},
+                        )
+                    )
         base_index += batch
         remaining -= batch
+        reporter.update(batch)
+    reporter.close()
+
+    if OBS.enabled:
+        elapsed = perf_counter() - started
+        OBS.registry.counter("faultsim.systems").inc(config.num_systems)
+        if elapsed > 0:
+            OBS.registry.gauge("faultsim.systems_per_s").set(
+                config.num_systems / elapsed
+            )
+        OBS.registry.timer("faultsim.simulate_s").observe(elapsed)
+        log.info(
+            "%s: %d/%d systems failed in %.2fs",
+            scheme.name, len(failure_times), config.num_systems, elapsed,
+        )
 
     return ReliabilityResult(
         scheme_name=scheme.name,

@@ -1,0 +1,72 @@
+"""Observability for the XED reproduction (metrics, events, profiling).
+
+The package mirrors the paper's own thesis -- error-*detection* signals
+are telemetry worth exposing -- onto the reproduction itself:
+
+* :mod:`repro.obs.metrics` -- a process-wide :class:`MetricsRegistry`
+  of counters, gauges and fixed-bucket histograms/timers, exportable as
+  one JSON document (``--metrics-out``).
+* :mod:`repro.obs.events` -- typed trace events (catch-word detections,
+  erasure reconstructions, serial retries, diagnosis runs, scrub
+  passes, trial outcomes, classified reads) in a bounded ring buffer
+  with JSON-lines export (``--trace-out``).
+* :mod:`repro.obs.runtime` -- the global :data:`OBS` switchboard plus
+  the :func:`span` / :func:`timed` profiling hooks.  Everything is
+  **disabled by default**; instrumentation sites cost one attribute
+  load until the CLI (or a test) flips ``OBS.enabled``.
+* :mod:`repro.obs.progress` -- a TTY-only live progress line for long
+  reliability/campaign runs.
+
+This layer depends on nothing inside ``repro`` (and nothing outside the
+standard library), so every other layer may import it freely.
+"""
+
+from repro.obs.events import (
+    CatchWordDetected,
+    DiagnosisRun,
+    ErasureReconstruction,
+    EventTrace,
+    ReadClassified,
+    ScrubPass,
+    SerialRetry,
+    TraceEvent,
+    TrialCompleted,
+    read_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.progress import ProgressReporter, progress
+from repro.obs.runtime import OBS, Observability, configure, get_logger, span, timed
+from repro.obs import events
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "configure",
+    "get_logger",
+    "span",
+    "timed",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "EventTrace",
+    "TraceEvent",
+    "CatchWordDetected",
+    "ErasureReconstruction",
+    "SerialRetry",
+    "DiagnosisRun",
+    "ScrubPass",
+    "TrialCompleted",
+    "ReadClassified",
+    "read_jsonl",
+    "ProgressReporter",
+    "progress",
+    "events",
+]

@@ -1,0 +1,245 @@
+"""Structured trace events and the bounded in-memory event trace.
+
+XED's argument (Section III of the paper) is that on-die *detection*
+events are telemetry worth surfacing; this module is the reproduction's
+own version of that principle.  Every interesting episode in the
+behavioural stack -- a catch-word recognised, a chip rebuilt from
+parity, a serial-mode retry, a diagnosis pass, a scrub sweep, a
+Monte-Carlo or campaign trial, a campaign read classified -- is a typed
+dataclass recorded into a ring buffer and exportable as JSON lines
+(``--trace-out``), one event per line:
+
+``{"event": "catch_word_detected", "ts": 1699.25, "chip": 3, ...}``
+
+The ring buffer is bounded (oldest events evicted first) so tracing a
+multi-hour campaign cannot exhaust memory; the number of evicted events
+is tracked so truncation is visible in the export, never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TraceEvent",
+    "CatchWordDetected",
+    "ErasureReconstruction",
+    "SerialRetry",
+    "DiagnosisRun",
+    "ScrubPass",
+    "TrialCompleted",
+    "ReadClassified",
+    "EventTrace",
+    "read_jsonl",
+]
+
+#: Default ring-buffer capacity; ~64K events is minutes of full-rate
+#: campaign tracing at a few MB of memory.
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass
+class TraceEvent:
+    """Base class: every event has a ``kind`` tag used in the export."""
+
+    kind = "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"event": self.kind}
+        record.update(asdict(self))
+        return record
+
+
+@dataclass
+class CatchWordDetected(TraceEvent):
+    """A chip's transfer matched its catch-word: on-die ECC detected."""
+
+    kind = "catch_word_detected"
+
+    chip: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass
+class ErasureReconstruction(TraceEvent):
+    """One chip's data was rebuilt from parity / RS erasure decoding.
+
+    ``method`` records what located the erasure: ``catch_word`` (the
+    fast path), ``fct`` (a previously convicted row), ``inter`` /
+    ``intra`` (diagnosis), or ``rs_erasure`` (Chipkill symbols).
+    """
+
+    kind = "erasure_reconstruction"
+
+    chip: int
+    bank: int
+    row: int
+    column: int
+    method: str
+    collision: bool = False
+
+
+@dataclass
+class SerialRetry(TraceEvent):
+    """Serial-mode recovery: XED-Enable cleared, line re-read, restored."""
+
+    kind = "serial_retry"
+
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass
+class DiagnosisRun(TraceEvent):
+    """Inter-/intra-line diagnosis ran on a parity-mismatched line.
+
+    ``verdict`` is the convicted chip index, or ``None`` for a DUE.
+    """
+
+    kind = "diagnosis_run"
+
+    bank: int
+    row: int
+    column: int
+    inter_chip: Optional[int]
+    intra_chip: Optional[int]
+    ambiguous: bool
+    verdict: Optional[int]
+    method: Optional[str] = None
+
+
+@dataclass
+class ScrubPass(TraceEvent):
+    """One patrol-scrub sweep (a region or a single patrol step)."""
+
+    kind = "scrub_pass"
+
+    lines_scrubbed: int
+    clean: int
+    corrected: int
+    uncorrectable: int
+
+
+@dataclass
+class TrialCompleted(TraceEvent):
+    """One trial of a fault campaign or Monte-Carlo lifetime finished.
+
+    For campaigns ``outcome`` is the worst classification among the
+    trial's reads; for Monte-Carlo systems (only failing systems are
+    materialised, so only those emit events) it is the failure kind.
+    """
+
+    kind = "trial_completed"
+
+    trial: int
+    campaign: str
+    outcome: str
+    detail: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ReadClassified(TraceEvent):
+    """One campaign read classified against its expected data."""
+
+    kind = "read_classified"
+
+    trial: int
+    bank: int
+    row: int
+    column: int
+    outcome: str
+    status: str
+    granularities: List[str] = field(default_factory=list)
+    chips: List[int] = field(default_factory=list)
+    permanent: bool = True
+
+
+class EventTrace:
+    """Bounded ring buffer of ``(timestamp, event)`` pairs.
+
+    ``record`` stamps wall-clock time so exported traces correlate with
+    external logs.  When the buffer is full the oldest event is evicted
+    and ``dropped`` incremented -- the JSONL export carries that count in
+    a leading meta line so truncated traces are self-describing.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[Tuple[float, TraceEvent]] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append((time.time(), event))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return (event for _, event in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _, event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- export -------------------------------------------------------------
+
+    def to_records(self) -> List[Dict[str, object]]:
+        records = []
+        for ts, event in self._events:
+            record = event.to_dict()
+            record["ts"] = ts
+            records.append(record)
+        return records
+
+    def to_jsonl(self) -> str:
+        lines = [
+            json.dumps(
+                {
+                    "event": "trace_meta",
+                    "recorded": len(self._events),
+                    "dropped": self.dropped,
+                    "capacity": self.capacity,
+                }
+            )
+        ]
+        lines.extend(json.dumps(r, sort_keys=True) for r in self.to_records())
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a ``--trace-out`` file back into event dicts.
+
+    The leading ``trace_meta`` line is skipped; blank lines tolerated.
+    """
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("event") == "trace_meta":
+                continue
+            records.append(record)
+    return records

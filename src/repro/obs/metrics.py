@@ -1,0 +1,264 @@
+"""Process-wide metrics: counters, gauges, histograms and timers.
+
+The registry is deliberately dependency-free and synchronous: XED's hot
+paths (controller reads, Monte-Carlo batches, the perf-sim event loop)
+cannot afford a metrics client, threads, or background flushing.  A
+metric is a tiny mutable object fetched once (or looked up in a dict)
+and bumped in place; the whole registry serialises to one JSON document
+for the CLI's ``--metrics-out`` flag.
+
+Histograms use *fixed* buckets (upper bounds chosen at creation) so
+recording is O(log buckets) with no allocation -- the same design as
+Prometheus client histograms, which keeps exports mergeable across
+processes later.
+
+Nothing here consults the global on/off switch; that lives in
+:mod:`repro.obs.runtime`.  Instrumentation sites guard themselves with
+``if OBS.enabled:`` so a disabled process pays one attribute load per
+site and never touches these classes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS_S",
+]
+
+#: Default latency buckets (seconds): 10us .. 60s, roughly log-spaced.
+DEFAULT_TIME_BUCKETS_S: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer (events seen, bytes moved)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, rate, ratio)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    (``+Inf``) catches everything above the last bound.  ``mean``,
+    ``min`` and ``max`` are tracked exactly alongside the buckets.
+    """
+
+    __slots__ = (
+        "name", "help", "buckets", "bucket_counts", "count", "total",
+        "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float],
+        help: str = "",
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def to_dict(self) -> Dict[str, object]:
+        labels = [f"le={b:g}" for b in self.buckets] + ["le=+Inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": dict(zip(labels, self.bucket_counts)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:g})"
+
+
+class Timer(Histogram):
+    """A histogram of durations in seconds (fed by ``span``/``@timed``)."""
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
+        help: str = "",
+    ) -> None:
+        super().__init__(name, buckets, help=help)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Names are flat strings; instrumentation uses dotted prefixes
+    (``campaign.reads``, ``perfsim.writes``) to namespace subsystems.
+    Registering the same name as two different metric kinds is an error
+    -- it would silently split one series into two.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- get-or-create accessors -------------------------------------------
+
+    def _check_free(self, name: str, among: Dict[str, object]) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+            ("timer", self._timers),
+        ):
+            if table is not among and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._counters)
+            metric = self._counters[name] = Counter(name, help)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges)
+            metric = self._gauges[name] = Gauge(name, help)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float],
+        help: str = "",
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._histograms)
+            metric = self._histograms[name] = Histogram(name, buckets, help)
+        return metric
+
+    def timer(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
+        help: str = "",
+    ) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            self._check_free(name, self._timers)
+            metric = self._timers[name] = Timer(name, buckets, help)
+        return metric
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as plain JSON-serialisable dicts."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+            "timers": {n: t.to_dict() for n, t in sorted(self._timers.items())},
+        }
+
+    def dump_json(self, path: str, indent: int = 2) -> None:
+        """Write the snapshot as one JSON document (``--metrics-out``)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=indent, sort_keys=True)
+            fh.write("\n")
+
+    def reset(self) -> None:
+        """Zero every registered metric (registrations survive)."""
+        for table in (
+            self._counters, self._gauges, self._histograms, self._timers,
+        ):
+            for metric in table.values():
+                metric.reset()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges)
+            + len(self._histograms) + len(self._timers)
+        )

@@ -1,0 +1,110 @@
+"""A live, rate-limited progress line for long-running loops.
+
+Long ``repro reliability`` / ``repro campaign`` runs previously went
+dark for minutes; this reporter keeps a single ``\\r``-rewritten line on
+stderr with completion fraction and throughput:
+
+``reliability xed:  120,000/200,000 (60.0%)  48.3k/s``
+
+It is inert unless *both* the global switch
+(:attr:`repro.obs.runtime.Observability.progress_enabled`) is on *and*
+the stream is a TTY -- so CI logs, piped output and the test suite never
+see control characters.  Pass ``enabled=True`` to force (tests do).
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+from typing import Optional, TextIO
+
+from repro.obs.runtime import OBS
+
+__all__ = ["ProgressReporter", "progress"]
+
+
+class ProgressReporter:
+    """Counts completed units and redraws at most every ``min_interval_s``."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.2,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.total = max(0, int(total))
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        if enabled is None:
+            enabled = OBS.progress_enabled and _is_tty(self.stream)
+        self.enabled = enabled
+        self.done = 0
+        self._start = perf_counter()
+        self._last_draw = 0.0
+        self._drew_anything = False
+
+    def update(self, n: int = 1) -> None:
+        self.done += n
+        if not self.enabled:
+            return
+        now = perf_counter()
+        if now - self._last_draw >= self.min_interval_s:
+            self._draw(now)
+
+    def set(self, done: int) -> None:
+        self.update(done - self.done)
+
+    def close(self) -> None:
+        """Draw the final state and terminate the line."""
+        if not self.enabled:
+            return
+        self._draw(perf_counter())
+        if self._drew_anything:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _draw(self, now: float) -> None:
+        self._last_draw = now
+        elapsed = now - self._start
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            line = (
+                f"{self.label}: {self.done:,}/{self.total:,} "
+                f"({pct:.1f}%)  {_fmt_rate(rate)}"
+            )
+        else:
+            line = f"{self.label}: {self.done:,}  {_fmt_rate(rate)}"
+        self.stream.write("\r" + line.ljust(78))
+        self.stream.flush()
+        self._drew_anything = True
+
+
+def progress(total: int, label: str, **kwargs) -> ProgressReporter:
+    """Shorthand used by the simulators; honours the global switch."""
+    return ProgressReporter(total, label, **kwargs)
+
+
+def _is_tty(stream: TextIO) -> bool:
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty and isatty())
+    except (ValueError, OSError):  # closed/detached stream
+        return False
+
+
+def _fmt_rate(rate: float) -> str:
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k/s"
+    return f"{rate:.1f}/s"

@@ -20,8 +20,10 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import OBS, get_logger
 from repro.perfsim.configs import SchemeConfig
 from repro.perfsim.cpu import Core
 from repro.perfsim.dramsys import Channel, ChannelStats
@@ -29,6 +31,8 @@ from repro.perfsim.requests import MemoryRequest, RequestType
 from repro.perfsim.timing import SystemTiming
 from repro.perfsim.trace import SyntheticTrace, TraceOp
 from repro.perfsim.workloads import Workload
+
+log = get_logger("perfsim.engine")
 
 #: Bus-cycle penalty for a serial-mode episode: MRS write to clear
 #: XED-Enable, re-read, MRS write to restore (a few hundred ns).
@@ -281,6 +285,7 @@ class _Engine:
     # -- main loop ----------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        started = perf_counter()
         for core in self.cores:
             self._post(0.0, _CORE, core.core_id)
         heap = self.heap
@@ -321,7 +326,7 @@ class _Engine:
             merged.writes_served += s.writes_served
             merged.sum_read_latency += s.sum_read_latency
 
-        return SimulationResult(
+        result = SimulationResult(
             workload=self.workload_name,
             scheme_key=self.config.key,
             num_cores=self.system.num_cores,
@@ -335,6 +340,34 @@ class _Engine:
             serial_mode_entries=self.serial_entries,
             core_finish_times=finish_times,
             bus_cycle_ns=self.system.ddr.tCK_ns,
+        )
+        if OBS.enabled:
+            self._observe(result, perf_counter() - started)
+        return result
+
+    def _observe(self, result: SimulationResult, wall_s: float) -> None:
+        """Command counts and simulated-vs-wall-clock timing telemetry."""
+        reg = OBS.registry
+        reg.counter("perfsim.reads").inc(self.reads)
+        reg.counter("perfsim.writes").inc(self.writes)
+        reg.counter("perfsim.companion_reads").inc(self.companion_reads)
+        reg.counter("perfsim.companion_writes").inc(self.companion_writes)
+        reg.counter("perfsim.serial_mode_entries").inc(self.serial_entries)
+        reg.counter("perfsim.activates").inc(result.channel_stats.activates)
+        reg.counter("perfsim.refreshes").inc(result.channel_stats.refreshes)
+        reg.counter("perfsim.instructions").inc(result.total_instructions)
+        reg.timer("perfsim.run_s").observe(wall_s)
+        reg.gauge("perfsim.simulated_s").set(result.exec_seconds)
+        if result.exec_seconds > 0:
+            # >1 means the simulator runs slower than the simulated
+            # hardware -- the slowdown factor every perf PR tries to cut.
+            reg.gauge("perfsim.wall_per_simulated").set(
+                wall_s / result.exec_seconds
+            )
+        log.debug(
+            "%s/%s: %d bus cycles (%.3gs simulated) in %.3gs wall",
+            self.workload_name, self.config.key,
+            int(result.exec_bus_cycles), result.exec_seconds, wall_s,
         )
 
 

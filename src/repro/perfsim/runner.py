@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs import span
+from repro.obs.progress import progress
 from repro.perfsim.configs import SCHEME_CONFIGS, SchemeConfig
 from repro.perfsim.engine import SimulationResult, simulate_system
 from repro.perfsim.power import PowerBreakdown, PowerModel
@@ -46,11 +48,12 @@ def run_benchmark(
     if isinstance(config, str):
         config = SCHEME_CONFIGS[config]
     system = system or SystemTiming()
-    result = simulate_system(
-        workload, config, system, instructions_per_core, seed
-    )
-    model = power_model or PowerModel(timing=system.ddr)
-    power = model.compute(result, config)
+    with span("perfsim.benchmark_s"):
+        result = simulate_system(
+            workload, config, system, instructions_per_core, seed
+        )
+        model = power_model or PowerModel(timing=system.ddr)
+        power = model.compute(result, config)
     return BenchmarkRun(workload.name, config.key, result, power)
 
 
@@ -64,6 +67,7 @@ def run_suite(
     """Run a grid: {workload: {scheme_key: BenchmarkRun}}."""
     workloads = list(workloads) if workloads is not None else WORKLOADS
     grid: Dict[str, Dict[str, BenchmarkRun]] = {}
+    reporter = progress(len(workloads) * len(scheme_keys), "perf grid")
     for workload in workloads:
         row: Dict[str, BenchmarkRun] = {}
         for key in scheme_keys:
@@ -74,7 +78,9 @@ def run_suite(
                 instructions_per_core=instructions_per_core,
                 seed=seed,
             )
+            reporter.update()
         grid[workload.name] = row
+    reporter.close()
     return grid
 
 

@@ -50,6 +50,64 @@ class TestCampaignResult:
         assert result.corrected_fraction == 0.0
         assert result.total == 0
 
+    def test_append_maintains_counts_incrementally(self):
+        result = CampaignResult()
+        for outcome in (Outcome.CLEAN, Outcome.SDC, Outcome.CLEAN):
+            result.append(
+                Scenario([FaultGranularity.BIT], [0], True, outcome, "x")
+            )
+        assert result.counts[Outcome.CLEAN] == 2
+        assert result.sdc_count == 1
+        assert result.total == 3
+
+    def test_direct_scenario_append_triggers_recount(self):
+        # Callers that bypass append() (like make() above) must still
+        # see fresh counts: the staleness check recounts on access.
+        result = self.make([Outcome.CLEAN])
+        assert result.counts[Outcome.CLEAN] == 1
+        result.scenarios.append(
+            Scenario([FaultGranularity.BIT], [0], True, Outcome.DUE, "x")
+        )
+        assert result.counts[Outcome.DUE] == 1
+        result.append(
+            Scenario([FaultGranularity.BIT], [0], True, Outcome.DUE, "x")
+        )
+        assert result.counts[Outcome.DUE] == 2
+        assert result.total == 3
+
+    def test_counts_by_granularity(self):
+        result = CampaignResult()
+        result.append(
+            Scenario([FaultGranularity.ROW], [0], True, Outcome.CLEAN, "x")
+        )
+        result.append(
+            Scenario(
+                [FaultGranularity.ROW, FaultGranularity.BIT],
+                [0, 1], True, Outcome.CORRECTED, "x",
+            )
+        )
+        # A scenario with duplicate granularities counts once per kind.
+        result.append(
+            Scenario(
+                [FaultGranularity.BIT, FaultGranularity.BIT],
+                [2, 3], True, Outcome.DUE, "x",
+            )
+        )
+        by_gran = result.counts_by_granularity()
+        assert by_gran["row"][Outcome.CLEAN] == 1
+        assert by_gran["row"][Outcome.CORRECTED] == 1
+        assert by_gran["bit"][Outcome.CORRECTED] == 1
+        assert by_gran["bit"][Outcome.DUE] == 1
+        assert by_gran["bit"][Outcome.SDC] == 0
+
+    def test_format_summary_breakdown(self):
+        result = self.make([Outcome.CLEAN, Outcome.CORRECTED])
+        text = result.format_summary()
+        assert "2 scenarios" in text
+        assert "bit" in text and "clean," in text
+        flat = result.format_summary(by_granularity=False)
+        assert "bit" not in flat
+
 
 class TestDeterminism:
     def test_same_seed_same_outcomes(self):
