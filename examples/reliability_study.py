@@ -7,7 +7,11 @@ field failure rates, and prints the probability-of-failure table with
 improvement ratios.  Also demonstrates customising the experiment: a
 pessimistic FIT table (2x field rates) and a scrubbed system.
 
-Run:  python examples/reliability_study.py [num_systems]
+Run:  python examples/reliability_study.py [num_systems] [workers]
+
+``workers`` fans the Monte-Carlo shards out over that many processes;
+the numbers printed are bit-identical for any worker count (see
+docs/performance.md).
 """
 
 import sys
@@ -26,7 +30,7 @@ from repro.faultsim import (
 )
 
 
-def main(num_systems: int = 200_000) -> None:
+def main(num_systems: int = 200_000, workers: int = 1) -> None:
     schemes = [
         NonEccScheme(),
         EccDimmScheme(),
@@ -37,7 +41,7 @@ def main(num_systems: int = 200_000) -> None:
     ]
 
     cfg = MonteCarloConfig(num_systems=num_systems, seed=2016)
-    results = [simulate(s, cfg) for s in schemes]
+    results = [simulate(s, cfg, workers=workers) for s in schemes]
     print(
         format_reliability_table(
             f"Baseline field FIT rates, {num_systems:,} systems, 7 years:",
@@ -59,7 +63,10 @@ def main(num_systems: int = 200_000) -> None:
     harsh = MonteCarloConfig(
         num_systems=num_systems, seed=99, fit=FitTable().scaled(2.0)
     )
-    harsh_results = [simulate(s, harsh) for s in (EccDimmScheme(), XedScheme())]
+    harsh_results = [
+        simulate(s, harsh, workers=workers)
+        for s in (EccDimmScheme(), XedScheme())
+    ]
     print(
         "\n"
         + format_reliability_table(
@@ -73,7 +80,10 @@ def main(num_systems: int = 200_000) -> None:
     scrubbed = MonteCarloConfig(
         num_systems=num_systems, seed=7, scrub_hours=24.0
     )
-    scrub_results = [simulate(s, scrubbed) for s in (XedScheme(), ChipkillScheme())]
+    scrub_results = [
+        simulate(s, scrubbed, workers=workers)
+        for s in (XedScheme(), ChipkillScheme())
+    ]
     print(
         "\n"
         + format_reliability_table(
@@ -84,4 +94,7 @@ def main(num_systems: int = 200_000) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 200_000,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 1,
+    )

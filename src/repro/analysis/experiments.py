@@ -64,6 +64,7 @@ class ExperimentReport:
 
     @property
     def text(self) -> str:
+        """Full report body: summary tables plus any notes."""
         return "\n".join(
             [f"== {self.experiment_id}: {self.title}",
              f"   paper: {self.paper_claim}", ""]
@@ -73,6 +74,8 @@ class ExperimentReport:
 
 @dataclass(frozen=True)
 class Experiment:
+    """One registered experiment: id, title, paper claim, runner."""
+
     experiment_id: str
     title: str
     paper_claim: str

@@ -33,25 +33,31 @@ class Canvas:
 
     @property
     def plot_width(self) -> int:
+        """Drawable width inside the margins, in pixels."""
         return self.width - self.margin_left - self.margin_right
 
     @property
     def plot_height(self) -> int:
+        """Drawable height inside the margins, in pixels."""
         return self.height - self.margin_top - self.margin_bottom
 
     def x_pixel(self, fraction: float) -> float:
+        """Map a 0..1 plot-area fraction to an x pixel."""
         return self.margin_left + fraction * self.plot_width
 
     def y_pixel(self, fraction: float) -> float:
+        """Map a 0..1 plot-area fraction to a y pixel (0 = bottom)."""
         return self.margin_top + (1.0 - fraction) * self.plot_height
 
     def add(self, element: str) -> None:
+        """Append one raw SVG element."""
         self.elements.append(element)
 
     def text(
         self, x: float, y: float, content: str,
         size: int = 12, anchor: str = "middle", rotate: Optional[float] = None,
     ) -> None:
+        """Draw a text label, optionally rotated about its anchor."""
         transform = (
             f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
         )
@@ -62,6 +68,7 @@ class Canvas:
         )
 
     def line(self, x1, y1, x2, y2, color="#999", width=1.0, dash="") -> None:
+        """Draw one straight line segment."""
         dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
         self.add(
             f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
@@ -69,6 +76,7 @@ class Canvas:
         )
 
     def render(self, title: str) -> str:
+        """Serialise the canvas to a complete SVG document."""
         self.text(self.width / 2, 20, title, size=14)
         body = "\n".join(self.elements)
         return (

@@ -15,8 +15,11 @@ Sub-commands mirror the library's layers:
 Every sub-command additionally accepts the observability flags
 ``--log-level LEVEL``, ``--metrics-out PATH`` (JSON metrics dump) and
 ``--trace-out PATH`` (JSON-lines event trace); see :mod:`repro.obs`.
-Long ``reliability``/``campaign``/``perf`` runs show a live progress
-line on stderr when it is a terminal.
+The ``reliability`` and ``campaign`` sub-commands take ``--workers N``
+and ``--shard-size N`` for sharded parallel execution (results are
+bit-identical for any worker count; see docs/performance.md).  Long
+``reliability``/``campaign``/``perf`` runs show a live progress line on
+stderr when it is a terminal.
 """
 
 from __future__ import annotations
@@ -29,6 +32,48 @@ from repro.version import __version__
 
 #: Accepted values for the global ``--log-level`` flag.
 LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _worker_count(value: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1.
+
+    Raising ``ArgumentTypeError`` lets argparse print a clean one-line
+    error and exit with status 2, matching its other usage errors.
+    """
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if workers < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return workers
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for ``--shard-size``: an integer >= 1."""
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if size < 1:
+        raise argparse.ArgumentTypeError("shard size must be >= 1")
+    return size
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the sharding/parallelism flags shared by long-running
+    sub-commands (see docs/performance.md for guidance)."""
+    group = parser.add_argument_group("parallelism")
+    group.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="worker processes for sharded execution (default 1; "
+             "results are identical for any worker count)",
+    )
+    group.add_argument(
+        "--shard-size", type=_positive_int, default=None, metavar="N",
+        help="systems/trials per shard (default: engine-chosen; "
+             "changing it changes the RNG shard plan)",
+    )
 
 #: Monte-Carlo scheme registry for the reliability sub-command.
 RELIABILITY_SCHEMES = {
@@ -66,6 +111,7 @@ def _obs_parent() -> argparse.ArgumentParser:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
     obs_flags = _obs_parent()
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -95,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--scaling-rate", type=float, default=0.0)
     rel.add_argument("--scrub-hours", type=float, default=None)
     rel.add_argument("--seed", type=int, default=2016)
+    _add_parallel_flags(rel)
 
     perf = add_parser("perf", help="performance/power grid")
     perf.add_argument("--workloads", nargs="+", default=["libquantum", "mcf"])
@@ -140,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simultaneously faulty chips per trial")
     camp.add_argument("--scaling-rate", type=float, default=0.0)
     camp.add_argument("--seed", type=int, default=2016)
+    _add_parallel_flags(camp)
 
     return parser
 
@@ -181,7 +229,12 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     results = []
     for key in args.schemes:
         scheme = getattr(faultsim, RELIABILITY_SCHEMES[key])()
-        results.append(faultsim.simulate(scheme, config))
+        results.append(
+            faultsim.simulate(
+                scheme, config,
+                workers=args.workers, shard_size=args.shard_size,
+            )
+        )
     baseline = results[0].scheme_name if len(results) > 1 else None
     print(
         format_reliability_table(
@@ -270,10 +323,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             faulty_chips=args.chips,
             seed=args.seed,
             scaling_ber=args.scaling_rate,
+            workers=args.workers,
+            shard_size=args.shard_size,
         )
     else:
         result = campaign.run_chipkill_campaign(
-            trials=args.trials, faulty_chips=args.chips, seed=args.seed
+            trials=args.trials, faulty_chips=args.chips, seed=args.seed,
+            workers=args.workers, shard_size=args.shard_size,
         )
     print(result.format_summary())
     return 0 if result.sdc_count == 0 else 1
@@ -300,6 +356,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the ``repro`` CLI; returns the process exit code."""
     args = build_parser().parse_args(argv)
     # SUPPRESS defaults leave the attributes unset when flags are absent.
     args.log_level = getattr(args, "log_level", None)

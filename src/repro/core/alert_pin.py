@@ -70,6 +70,7 @@ class AlertPinXedController:
         }
 
     def write_line(self, bank: int, row: int, column: int, words) -> None:
+        """Encode and store one 64-byte line (SECDED on each word)."""
         self.stats["writes"] += 1
         self.dimm.write_line(bank, row, column, list(words))
 
@@ -91,6 +92,7 @@ class AlertPinXedController:
         return transfers, events
 
     def read_line(self, bank: int, row: int, column: int) -> XedReadResult:
+        """Read one line; ALERT_n assertion triggers erasure decode."""
         self.stats["reads"] += 1
         transfers, events = self._read_with_alerts(bank, row, column)
         flagged = [e.chip for e in events if e.asserted and e.chip >= 0]

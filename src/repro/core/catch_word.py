@@ -40,6 +40,7 @@ class CatchWordRegister:
 
     @property
     def mask(self) -> int:
+        """The wildcard mask the register matches catch-words against."""
         return (1 << self.width_bits) - 1
 
     def generate(self, rng: random.Random) -> int:

@@ -97,6 +97,7 @@ class XedController:
 
     @property
     def catch_words(self) -> List[int]:
+        """Catch-word patterns currently programmed in the chips."""
         return [reg.value for reg in self.registers]
 
     def _rotate_catch_word(self, chip_idx: int) -> None:

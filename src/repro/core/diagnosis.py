@@ -52,10 +52,12 @@ class DiagnosisResult:
 
     @property
     def identified(self) -> bool:
+        """True when diagnosis narrowed the fault to exactly one chip."""
         return self.faulty_chip is not None
 
     @property
     def ambiguous(self) -> bool:
+        """True when multiple chips remain plausible culprits."""
         return len(self.suspects) > 1
 
 
@@ -78,6 +80,7 @@ class FaultyRowChipTracker:
 
     @property
     def storage_bits(self) -> int:
+        """Controller SRAM bits this tracker configuration needs."""
         return self.capacity * self.ENTRY_BITS
 
     def record(self, bank: int, row: int, chip: int) -> None:

@@ -73,6 +73,7 @@ class XedChipkillController:
 
     @property
     def catch_words(self) -> List[int]:
+        """Catch-word patterns currently programmed in the chips."""
         return [reg.value for reg in self.registers]
 
     # -- writes --------------------------------------------------------------

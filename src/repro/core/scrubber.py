@@ -30,6 +30,7 @@ class ScrubReport:
     by_status: Dict[str, int] = field(default_factory=dict)
 
     def record(self, status: ReadStatus) -> None:
+        """Count one scrubbed read by its classification."""
         self.lines_scrubbed += 1
         self.by_status[status.value] = self.by_status.get(status.value, 0) + 1
         if status is ReadStatus.CLEAN:
@@ -40,6 +41,7 @@ class ScrubReport:
             self.corrected += 1
 
     def format_summary(self) -> str:
+        """One-line human-readable scrub-pass summary."""
         return (
             f"scrubbed {self.lines_scrubbed} lines: {self.clean} clean, "
             f"{self.corrected} corrected, {self.uncorrectable} uncorrectable"
@@ -75,6 +77,7 @@ class PatrolScrubber:
         self._cursor: Tuple[int, int] = (0, 0)  # (bank, row)
 
     def addresses(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every (bank, row, column) address in patrol order."""
         for bank in range(self.banks):
             for row in range(self.rows):
                 for column in range(self.columns):
@@ -131,4 +134,5 @@ class PatrolScrubber:
 
     @property
     def rows_per_full_patrol(self) -> int:
+        """Rows visited by one complete patrol of the DIMM."""
         return self.banks * self.rows

@@ -67,4 +67,5 @@ class XedReadResult:
 
     @property
     def ok(self) -> bool:
+        """True when the read returned correct data (no DUE/SDC)."""
         return self.status is not ReadStatus.DUE

@@ -94,6 +94,7 @@ class InjectedFault:
     injected_version: int = 0
 
     def covers(self, bank: int, row: int, column: int) -> bool:
+        """True when this fault damages the addressed word."""
         g = self.granularity
         if g is FaultGranularity.CHIP:
             return True
@@ -157,6 +158,7 @@ class DCMux:
 
     @staticmethod
     def select(data: int, detected: bool, regs: ModeRegisters) -> int:
+        """Output-select: catch-word when ``detected``, else data."""
         if detected and regs.xed_enable:
             return regs.catch_word
         return data
@@ -213,6 +215,7 @@ class DramChip:
 
     @property
     def data_bits(self) -> int:
+        """Data bits per on-die ECC codeword (64 for the paper's chip)."""
         return self.code.k
 
     def write(self, bank: int, row: int, column: int, data: int) -> None:
@@ -266,6 +269,7 @@ class DramChip:
         return fault
 
     def clear_faults(self) -> None:
+        """Remove all injected faults (fresh-chip state)."""
         self.faults.clear()
 
     # -- the read path ---------------------------------------------------------

@@ -50,6 +50,7 @@ class ChipGeometry:
 
     @property
     def words_per_bank(self) -> int:
+        """64-bit words per bank (rows x columns)."""
         return self.rows_per_bank * self.columns_per_row
 
     @property
@@ -63,6 +64,7 @@ class ChipGeometry:
         return self.total_words * self.bits_per_access
 
     def validate(self, bank: int, row: int, column: int) -> None:
+        """Raise IndexError for an out-of-range bank/row/column."""
         if not 0 <= bank < self.banks:
             raise IndexError(f"bank {bank} out of range [0,{self.banks})")
         if not 0 <= row < self.rows_per_bank:
@@ -95,10 +97,12 @@ class DimmGeometry:
 
     @property
     def chips_per_rank(self) -> int:
+        """Data chips per rank (no dedicated ECC chip under XED)."""
         return self.data_chips + self.check_chips
 
     @property
     def total_chips(self) -> int:
+        """Chips across all ranks of the DIMM."""
         return self.channels * self.ranks_per_channel * self.chips_per_rank
 
     @property
@@ -108,10 +112,12 @@ class DimmGeometry:
 
     @property
     def lines_per_rank(self) -> int:
+        """64-byte cache lines addressable per rank."""
         return self.chip.total_words
 
     @property
     def data_capacity_bytes(self) -> int:
+        """Usable data capacity of the DIMM in bytes."""
         return (
             self.channels
             * self.ranks_per_channel
@@ -156,6 +162,7 @@ class DimmGeometry:
 
     @classmethod
     def non_ecc_dimm_x8(cls) -> "DimmGeometry":
+        """The paper's commodity Non-ECC DIMM: 9-1 = no; x8, 8 chips."""
         return cls(data_chips=8, check_chips=0, chip=ChipGeometry(device_width=8))
 
     @classmethod

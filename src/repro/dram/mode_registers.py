@@ -34,6 +34,7 @@ class ModeRegisters:
 
     @property
     def catch_word_mask(self) -> int:
+        """Wildcard mask for catch-word comparison (MR-programmed)."""
         return (1 << self.catch_word_bits) - 1
 
     def set_xed_enable(self, enabled: bool) -> None:

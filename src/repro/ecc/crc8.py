@@ -93,6 +93,7 @@ class CRC8ATMCode(SECDEDCode):
         return _poly_mod(rem, 16, self.poly)
 
     def encode(self, data: int) -> int:
+        """Append the CRC-8 check byte to a 64-bit data word."""
         if not 0 <= data <= self.data_mask:
             raise ValueError("data does not fit in 64 bits")
         shifted = data << 8
@@ -104,17 +105,21 @@ class CRC8ATMCode(SECDEDCode):
         return self._remainder(word) == 0
 
     def split(self, word: int) -> tuple[int, int]:
+        """Split a 72-bit codeword into (data, check) parts."""
         return word >> 8, word & 0xFF
 
     def join(self, data: int, check: int) -> int:
+        """Reassemble a codeword from (data, check) parts."""
         return (data << 8) | (check & 0xFF)
 
     def data_bit_index(self, codeword_bit: int) -> int | None:
+        """Map a codeword bit index to its data bit, or None for check bits."""
         return codeword_bit - 8 if codeword_bit >= 8 else None
 
     # -- decode ----------------------------------------------------------
 
     def decode(self, word: int) -> DecodeResult:
+        """Recompute the CRC and classify the word (detect-only code)."""
         if not 0 <= word <= self.codeword_mask:
             raise ValueError("word does not fit in 72 bits")
         synd = self._remainder(word)

@@ -133,6 +133,7 @@ class DetectionReport:
     rates: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
 
     def row(self, errors: int) -> Dict[str, Dict[str, float]]:
+        """Detection/miscorrection probabilities for ``errors`` flipped bits."""
         idx = self.error_counts.index(errors)
         return {
             name: {mode: vals[idx] for mode, vals in modes.items()}

@@ -53,6 +53,7 @@ class HammingSECDED(SECDEDCode):
     # -- encode --------------------------------------------------------------
 
     def encode(self, data: int) -> int:
+        """Encode 64 data bits into a 72-bit SECDED codeword."""
         if not 0 <= data <= self.data_mask:
             raise ValueError("data does not fit in 64 bits")
         word = 0
@@ -78,6 +79,7 @@ class HammingSECDED(SECDEDCode):
         return synd
 
     def decode(self, word: int) -> DecodeResult:
+        """Syndrome-decode a 72-bit word: correct 1 bit, detect 2."""
         if not 0 <= word <= self.codeword_mask:
             raise ValueError("word does not fit in 72 bits")
         synd = self._syndrome(word)
@@ -110,6 +112,7 @@ class HammingSECDED(SECDEDCode):
         return self._syndrome(word) == 0 and popcount(word) % 2 == 0
 
     def split(self, word: int) -> tuple[int, int]:
+        """Split a 72-bit codeword into (data, check) parts."""
         data = self._extract(word)
         check = 0
         for b, pos in enumerate(self.CHECK_POSITIONS):
@@ -120,6 +123,7 @@ class HammingSECDED(SECDEDCode):
         return data, check
 
     def join(self, data: int, check: int) -> int:
+        """Reassemble a codeword from (data, check) parts."""
         word = 0
         for i, pos in enumerate(self._data_positions):
             if (data >> i) & 1:
@@ -132,6 +136,7 @@ class HammingSECDED(SECDEDCode):
         return word
 
     def data_bit_index(self, codeword_bit: int) -> int | None:
+        """Map a codeword bit index to its data bit, or None for check bits."""
         position = codeword_bit + 1
         try:
             return self._data_positions.index(position)

@@ -54,6 +54,7 @@ class DecodeResult:
 
     @property
     def detected(self) -> bool:
+        """True when the decode flagged any error (corrected or not)."""
         return self.outcome is not DecodeOutcome.CLEAN
 
 
@@ -70,14 +71,17 @@ class SECDEDCode:
 
     @property
     def num_check_bits(self) -> int:
+        """Parity-check bits in the codeword."""
         return self.n - self.k
 
     @property
     def data_mask(self) -> int:
+        """Mask selecting the data bits of a codeword."""
         return (1 << self.k) - 1
 
     @property
     def codeword_mask(self) -> int:
+        """Mask selecting every codeword bit."""
         return (1 << self.n) - 1
 
     def encode(self, data: int) -> int:

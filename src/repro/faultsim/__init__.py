@@ -15,6 +15,8 @@ methodology:
 * :mod:`repro.faultsim.schemes` -- per-scheme evaluators: Non-ECC,
   ECC-DIMM SECDED, XED, Chipkill, Double-Chipkill, XED+Chipkill.
 * :mod:`repro.faultsim.simulator` -- the vectorised Monte-Carlo driver.
+* :mod:`repro.faultsim.parallel` -- deterministic sharding and the
+  multiprocessing pool behind ``simulate(..., workers=N)``.
 * :mod:`repro.faultsim.analytical` -- closed-form models behind Figure 6
   (collisions), Table III (multi catch-words) and Table IV (SDC/DUE).
 """
@@ -37,9 +39,16 @@ from repro.faultsim.schemes import (
     XedChipkillScheme,
     XedScheme,
 )
-from repro.faultsim.simulator import MonteCarloConfig, ReliabilityResult, simulate
+from repro.faultsim.simulator import (
+    DEFAULT_SHARD_SIZE,
+    MonteCarloConfig,
+    ReliabilityResult,
+    simulate,
+    simulate_many,
+)
 from repro.faultsim import analytical
 from repro.faultsim import campaign
+from repro.faultsim import parallel
 
 __all__ = [
     "DRAM_FIT_RATES",
@@ -60,7 +69,10 @@ __all__ = [
     "FailureKind",
     "MonteCarloConfig",
     "ReliabilityResult",
+    "DEFAULT_SHARD_SIZE",
     "simulate",
+    "simulate_many",
     "analytical",
     "campaign",
+    "parallel",
 ]

@@ -149,6 +149,7 @@ class TableIV:
     multi_chip_data_loss: float
 
     def rows(self) -> Dict[str, float]:
+        """Scheme-name -> probability rows backing Table IV."""
         return {
             "XED: Scaling-Related Faults (SDC or DUE)": self.scaling_sdc_or_due,
             "XED: Row/Column/Bank Failure (SDC)": self.row_column_bank_sdc,
@@ -157,6 +158,7 @@ class TableIV:
         }
 
     def format_table(self) -> str:
+        """Render the Table IV comparison as aligned text."""
         lines = ["SDC and DUE rates of XED over 7 years (Table IV)"]
         for label, value in self.rows().items():
             rendered = "0 (none)" if value == 0.0 else f"{value:.1e}"

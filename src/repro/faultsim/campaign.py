@@ -22,10 +22,17 @@ from repro.core.controller import XedController
 from repro.core.erasure_controller import XedChipkillController
 from repro.dram.chip import FaultGranularity
 from repro.dram.dimm import ChipkillRank, XedDimm
+from repro.faultsim.parallel import plan_shards, resolve_shard_size, run_sharded
 from repro.obs import OBS, events, get_logger, span
 from repro.obs.progress import progress
 
 log = get_logger("faultsim.campaign")
+
+#: Default trials per shard for parallel campaigns.  Campaign trials
+#: are heavyweight (each builds a DIMM and drives real decodes), so a
+#: modest chunk keeps pool dispatch overhead negligible while still
+#: load-balancing across workers.
+DEFAULT_TRIAL_SHARD_SIZE = 10
 
 
 class Outcome(enum.Enum):
@@ -85,19 +92,23 @@ class CampaignResult:
 
     @property
     def counts(self) -> Dict[Outcome, int]:
+        """Trial counts per outcome (refreshed on demand)."""
         self._refresh()
         return dict(self._counts)
 
     @property
     def total(self) -> int:
+        """Total recorded trials."""
         return len(self.scenarios)
 
     @property
     def sdc_count(self) -> int:
+        """Trials that ended in silent data corruption."""
         return self.counts[Outcome.SDC]
 
     @property
     def corrected_fraction(self) -> float:
+        """Fraction of trials fully corrected."""
         if not self.scenarios:
             return 0.0
         counts = self.counts
@@ -117,7 +128,32 @@ class CampaignResult:
                 row[s.outcome] += 1
         return out
 
+    @classmethod
+    def merge(cls, shards: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Combine per-shard campaign results into one.
+
+        Scenarios concatenate in the order given (a deterministic shard
+        plan therefore reproduces the sequential scenario list), and the
+        incremental outcome tally is rebuilt from refreshed shard
+        tallies -- so shards that were mutated through direct
+        ``scenarios.append`` calls (the staleness-recount path) merge
+        just as correctly as ones built through :meth:`append`.
+        Per-granularity breakdowns are derived from ``scenarios`` and
+        stay consistent automatically.
+
+        An empty shard list is a valid merge and yields an empty result.
+        """
+        merged = cls()
+        for shard in shards:
+            shard._refresh()
+            merged.scenarios.extend(shard.scenarios)
+            for outcome, count in shard._counts.items():
+                merged._counts[outcome] += count
+            merged._counted += shard._counted
+        return merged
+
     def format_summary(self, by_granularity: bool = True) -> str:
+        """Headline counts plus (optionally) the per-granularity table."""
         counts = self.counts
         lines = [
             f"{self.total} scenarios: "
@@ -152,6 +188,84 @@ DEFAULT_GRANULARITIES = (
 )
 
 
+def _xed_trial(
+    result: CampaignResult,
+    trial: int,
+    faulty_chips: int,
+    seed: int,
+    scaling_ber: float,
+    granularities: Sequence[FaultGranularity],
+    lines_per_trial: int,
+) -> None:
+    """Run one XED campaign trial, appending its scenarios to ``result``.
+
+    All randomness is keyed by the *global* trial index (the trial RNG,
+    the DIMM seed and the injection seeds), so a trial's outcome is
+    independent of which shard or worker executes it.
+    """
+    rng = random.Random((seed << 16) ^ trial)
+    dimm = XedDimm.build(seed=trial, scaling_ber=scaling_ber)
+    ctrl = XedController(dimm, seed=trial + 1)
+    bank, row = rng.randrange(8), rng.randrange(512)
+    columns = rng.sample(range(128), lines_per_trial)
+    expected = {}
+    for col in columns:
+        line = [rng.getrandbits(64) for _ in range(8)]
+        expected[col] = line
+        ctrl.write_line(bank, row, col, line)
+
+    chips = rng.sample(range(9), faulty_chips)
+    grans = []
+    permanent = rng.random() < 0.7
+    for chip in chips:
+        gran = rng.choice(list(granularities))
+        grans.append(gran)
+        dimm.inject_chip_failure(
+            chip=chip,
+            granularity=gran,
+            permanent=permanent,
+            bank=bank,
+            row=row,
+            column=columns[0],
+            bit=rng.randrange(64),
+            seed=trial ^ chip,
+        )
+
+    outcomes = []
+    for col in columns:
+        read = ctrl.read_line(bank, row, col)
+        outcome = _classify(read.ok, read.words == expected[col],
+                            read.status.value)
+        outcomes.append(outcome)
+        result.append(
+            Scenario(grans, chips, permanent, outcome, read.status.value)
+        )
+        _observe_read(
+            trial, bank, row, col, outcome, read.status.value,
+            grans, chips, permanent,
+        )
+    _observe_trial(trial, "xed", outcomes)
+
+
+def _xed_shard(
+    start: int,
+    count: int,
+    faulty_chips: int,
+    seed: int,
+    scaling_ber: float,
+    granularities: Sequence[FaultGranularity],
+    lines_per_trial: int,
+) -> CampaignResult:
+    """Run XED trials ``[start, start + count)`` (pool worker entry)."""
+    result = CampaignResult()
+    for trial in range(start, start + count):
+        _xed_trial(
+            result, trial, faulty_chips, seed, scaling_ber,
+            granularities, lines_per_trial,
+        )
+    return result
+
+
 def run_xed_campaign(
     trials: int = 50,
     faulty_chips: int = 1,
@@ -159,6 +273,8 @@ def run_xed_campaign(
     scaling_ber: float = 0.0,
     granularities: Sequence[FaultGranularity] = DEFAULT_GRANULARITIES,
     lines_per_trial: int = 4,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> CampaignResult:
     """Randomized campaign against the 9-chip XED controller.
 
@@ -167,57 +283,86 @@ def run_xed_campaign(
     every subsequent read.  With ``faulty_chips=1`` the paper's claim is
     that *no* scenario may be SDC or DUE except the documented
     transient-word tail.
+
+    Trials are dispatched in shards of ``shard_size`` to ``workers``
+    processes; every trial is keyed by its global index, so the merged
+    result is identical for any worker count or shard size.
     """
-    result = CampaignResult()
+    shard_size = resolve_shard_size(trials, shard_size, DEFAULT_TRIAL_SHARD_SIZE)
+    shards = plan_shards(trials, shard_size)
     started = perf_counter()
     reporter = progress(trials, "campaign xed")
     with span("campaign.xed_s"):
-        for trial in range(trials):
-            rng = random.Random((seed << 16) ^ trial)
-            dimm = XedDimm.build(seed=trial, scaling_ber=scaling_ber)
-            ctrl = XedController(dimm, seed=trial + 1)
-            bank, row = rng.randrange(8), rng.randrange(512)
-            columns = rng.sample(range(128), lines_per_trial)
-            expected = {}
-            for col in columns:
-                line = [rng.getrandbits(64) for _ in range(8)]
-                expected[col] = line
-                ctrl.write_line(bank, row, col, line)
-
-            chips = rng.sample(range(9), faulty_chips)
-            grans = []
-            permanent = rng.random() < 0.7
-            for chip in chips:
-                gran = rng.choice(list(granularities))
-                grans.append(gran)
-                dimm.inject_chip_failure(
-                    chip=chip,
-                    granularity=gran,
-                    permanent=permanent,
-                    bank=bank,
-                    row=row,
-                    column=columns[0],
-                    bit=rng.randrange(64),
-                    seed=trial ^ chip,
-                )
-
-            outcomes = []
-            for col in columns:
-                read = ctrl.read_line(bank, row, col)
-                outcome = _classify(read.ok, read.words == expected[col],
-                                    read.status.value)
-                outcomes.append(outcome)
-                result.append(
-                    Scenario(grans, chips, permanent, outcome, read.status.value)
-                )
-                _observe_read(
-                    trial, bank, row, col, outcome, read.status.value,
-                    grans, chips, permanent,
-                )
-            _observe_trial(trial, "xed", outcomes)
-            reporter.update()
+        shard_results = run_sharded(
+            _xed_shard,
+            [
+                (start, count, faulty_chips, seed, scaling_ber,
+                 tuple(granularities), lines_per_trial)
+                for start, count in shards
+            ],
+            workers=workers,
+            on_shard_done=lambda i: reporter.update(shards[i][1]),
+        )
     reporter.close()
+    result = CampaignResult.merge(shard_results)
     _observe_campaign("xed", trials, result, perf_counter() - started)
+    return result
+
+
+def _chipkill_trial(
+    result: CampaignResult,
+    trial: int,
+    faulty_chips: int,
+    seed: int,
+    granularities: Sequence[FaultGranularity],
+) -> None:
+    """Run one XED+Chipkill trial, appending its scenario to ``result``."""
+    rng = random.Random((seed << 16) ^ trial)
+    rank = ChipkillRank(seed=trial)
+    ctrl = XedChipkillController(rank, seed=trial + 1)
+    bank, row, col = rng.randrange(8), rng.randrange(512), rng.randrange(128)
+    line = [rng.getrandbits(64) for _ in range(16)]
+    ctrl.write_line(bank, row, col, line)
+
+    chips = rng.sample(range(rank.num_chips), faulty_chips)
+    grans = []
+    for chip in chips:
+        gran = rng.choice(list(granularities))
+        grans.append(gran)
+        rank.inject_chip_failure(
+            chip=chip,
+            granularity=gran,
+            permanent=True,
+            bank=bank,
+            row=row,
+            column=col,
+            bit=rng.randrange(rank.word_bits),
+            seed=trial ^ chip,
+        )
+
+    read = ctrl.read_line(bank, row, col)
+    outcome = _classify(read.ok, read.words == line, read.status.value)
+    result.append(
+        Scenario(grans, chips, True, outcome, read.status.value)
+    )
+    _observe_read(
+        trial, bank, row, col, outcome, read.status.value,
+        grans, chips, True,
+    )
+    _observe_trial(trial, "chipkill", [outcome])
+
+
+def _chipkill_shard(
+    start: int,
+    count: int,
+    faulty_chips: int,
+    seed: int,
+    granularities: Sequence[FaultGranularity],
+) -> CampaignResult:
+    """Run Chipkill trials ``[start, start + count)`` (pool worker entry)."""
+    result = CampaignResult()
+    for trial in range(start, start + count):
+        _chipkill_trial(result, trial, faulty_chips, seed, granularities)
     return result
 
 
@@ -226,52 +371,31 @@ def run_chipkill_campaign(
     faulty_chips: int = 2,
     seed: int = 7,
     granularities: Sequence[FaultGranularity] = DEFAULT_GRANULARITIES,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> CampaignResult:
     """Campaign against the Section-IX XED+Chipkill controller.
 
     With ``faulty_chips=2`` the erasure decoding must recover every
-    scenario -- the Double-Chipkill-level claim.
+    scenario -- the Double-Chipkill-level claim.  Sharding and
+    parallelism behave exactly as in :func:`run_xed_campaign`.
     """
-    result = CampaignResult()
+    shard_size = resolve_shard_size(trials, shard_size, DEFAULT_TRIAL_SHARD_SIZE)
+    shards = plan_shards(trials, shard_size)
     started = perf_counter()
     reporter = progress(trials, "campaign chipkill")
     with span("campaign.chipkill_s"):
-        for trial in range(trials):
-            rng = random.Random((seed << 16) ^ trial)
-            rank = ChipkillRank(seed=trial)
-            ctrl = XedChipkillController(rank, seed=trial + 1)
-            bank, row, col = rng.randrange(8), rng.randrange(512), rng.randrange(128)
-            line = [rng.getrandbits(64) for _ in range(16)]
-            ctrl.write_line(bank, row, col, line)
-
-            chips = rng.sample(range(rank.num_chips), faulty_chips)
-            grans = []
-            for chip in chips:
-                gran = rng.choice(list(granularities))
-                grans.append(gran)
-                rank.inject_chip_failure(
-                    chip=chip,
-                    granularity=gran,
-                    permanent=True,
-                    bank=bank,
-                    row=row,
-                    column=col,
-                    bit=rng.randrange(rank.word_bits),
-                    seed=trial ^ chip,
-                )
-
-            read = ctrl.read_line(bank, row, col)
-            outcome = _classify(read.ok, read.words == line, read.status.value)
-            result.append(
-                Scenario(grans, chips, True, outcome, read.status.value)
-            )
-            _observe_read(
-                trial, bank, row, col, outcome, read.status.value,
-                grans, chips, True,
-            )
-            _observe_trial(trial, "chipkill", [outcome])
-            reporter.update()
+        shard_results = run_sharded(
+            _chipkill_shard,
+            [
+                (start, count, faulty_chips, seed, tuple(granularities))
+                for start, count in shards
+            ],
+            workers=workers,
+            on_shard_done=lambda i: reporter.update(shards[i][1]),
+        )
     reporter.close()
+    result = CampaignResult.merge(shard_results)
     _observe_campaign("chipkill", trials, result, perf_counter() - started)
     return result
 

@@ -42,6 +42,7 @@ class FaultSpace:
 
     @classmethod
     def for_chip(cls, chip: ChipGeometry) -> "FaultSpace":
+        """Derive the bit-field layout from a chip's geometry."""
         lane = chip.device_width.bit_length() - 1
         beat = 3  # 8 burst beats in DDR3
         return cls(
@@ -56,33 +57,41 @@ class FaultSpace:
 
     @property
     def beat_shift(self) -> int:
+        """Bit offset of the burst-beat field."""
         return self.lane_bits
 
     @property
     def column_shift(self) -> int:
+        """Bit offset of the column field."""
         return self.lane_bits + self.beat_bits
 
     @property
     def row_shift(self) -> int:
+        """Bit offset of the row field."""
         return self.column_shift + self.column_bits
 
     @property
     def bank_shift(self) -> int:
+        """Bit offset of the bank field."""
         return self.row_shift + self.row_bits
 
     @property
     def total_bits(self) -> int:
+        """Total width of the flattened address in bits."""
         return self.bank_shift + self.bank_bits
 
     def field_mask(self, shift: int, bits: int) -> int:
+        """Mask of ``bits`` contiguous bits starting at ``shift``."""
         return ((1 << bits) - 1) << shift
 
     @property
     def lane_mask(self) -> int:
+        """Mask of the bit-within-beat (device lane) field."""
         return self.field_mask(0, self.lane_bits)
 
     @property
     def beat_mask(self) -> int:
+        """Mask of the burst-beat field."""
         return self.field_mask(self.beat_shift, self.beat_bits)
 
     @property
@@ -92,18 +101,22 @@ class FaultSpace:
 
     @property
     def column_mask(self) -> int:
+        """Mask of the column field."""
         return self.field_mask(self.column_shift, self.column_bits)
 
     @property
     def row_mask(self) -> int:
+        """Mask of the row field."""
         return self.field_mask(self.row_shift, self.row_bits)
 
     @property
     def bank_mask(self) -> int:
+        """Mask of the bank field."""
         return self.field_mask(self.bank_shift, self.bank_bits)
 
     @property
     def full_mask(self) -> int:
+        """Mask covering every address bit (whole chip)."""
         return (1 << self.total_bits) - 1
 
     def wildcard_for(self, mode: FailureMode) -> int:
@@ -132,9 +145,11 @@ class AddressRange:
     wildcard: int
 
     def covers(self, address: int) -> bool:
+        """True when ``address`` lies inside this range."""
         return (address ^ self.value) & ~self.wildcard == 0
 
     def intersects(self, other: "AddressRange") -> bool:
+        """True when some address lies in both ranges."""
         return (self.value ^ other.value) & ~self.wildcard & ~other.wildcard == 0
 
     @staticmethod
@@ -185,15 +200,18 @@ class ChipFault:
     end_hours: float = float("inf")
 
     def alive_at(self, t: float) -> bool:
+        """True while the fault is active at time ``t`` (hours)."""
         return self.time_hours <= t <= self.end_hours
 
     def overlaps_in_time(self, other: "ChipFault") -> bool:
+        """True when both faults' active intervals intersect."""
         return (
             self.time_hours <= other.end_hours
             and other.time_hours <= self.end_hours
         )
 
     def same_rank(self, other: "ChipFault") -> bool:
+        """True when both faults sit in the same channel and rank."""
         return self.channel == other.channel and self.rank == other.rank
 
     def collides_with(self, other: "ChipFault") -> bool:

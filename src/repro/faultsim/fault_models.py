@@ -44,6 +44,7 @@ class FailureMode(enum.Enum):
 
     @property
     def spans_ranks(self) -> bool:
+        """True for modes that damage every rank sharing the chip's I/O."""
         return self is FailureMode.MULTI_RANK
 
 
@@ -56,6 +57,7 @@ class ModeRate:
 
     @property
     def total(self) -> float:
+        """Combined transient + permanent FIT rate of the mode."""
         return self.transient + self.permanent
 
 
@@ -124,6 +126,7 @@ class FitTable:
         return FitTable(rates)
 
     def rate_of(self, mode: FailureMode, permanent: bool | None = None) -> float:
+        """FIT rate of one mode (optionally one persistence class)."""
         rate = self.rates[mode]
         if permanent is None:
             return rate.total

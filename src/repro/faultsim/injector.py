@@ -87,10 +87,115 @@ class FaultSampler:
         """Expected runtime faults per system over the lifetime."""
         return self.fit.total_fit * 1e-9 * self.hours * self.scheme.total_chips
 
+    @property
+    def row_rates(self) -> np.ndarray:
+        """Expected faults per system per FIT-table row (mode x t/p)."""
+        return self._mode_probs * self.lam_per_system
+
     # -- sampling -------------------------------------------------------------
 
     def sample_counts(self, num_systems: int, rng: np.random.Generator) -> np.ndarray:
+        """Total runtime-fault counts per system (one Poisson draw)."""
         return rng.poisson(self.lam_per_system, num_systems)
+
+    def sample_shard(
+        self,
+        start_index: int,
+        num_systems: int,
+        rng: np.random.Generator,
+        min_faults: int = 1,
+    ) -> Iterator[SampledSystem]:
+        """Sample one shard of systems, fully vectorised per FIT row.
+
+        Instead of drawing one total-Poisson count per system and then
+        splitting it categorically, each FIT-table row (failure mode x
+        transient/permanent) gets one batched Poisson draw across the
+        shard, and every fault attribute (arrival time, chip, address,
+        promotion draw) is drawn as one numpy batch per row.  Thinning a
+        Poisson process row-by-row is distribution-identical to the
+        categorical split, and it removes the per-fault ``rng.choice``
+        from the hot loop.
+
+        Only systems with at least ``min_faults`` faults are
+        materialised; their global indices are ``start_index`` plus the
+        in-shard offset, so downstream per-system seeding (which hashes
+        the global index) is shard-layout independent.
+        """
+        rates = self.row_rates
+        num_rows = len(rates)
+        counts = np.empty((num_rows, num_systems), dtype=np.int64)
+        for i in range(num_rows):
+            counts[i] = rng.poisson(rates[i], num_systems)
+        selected = np.nonzero(counts.sum(axis=0) >= min_faults)[0]
+        if selected.size == 0:
+            return
+        sel_counts = counts[:, selected]
+
+        # One attribute batch per row, drawn in fixed row order (this is
+        # the deterministic part of the stream), then flattened and
+        # stably re-grouped by system -- pure bookkeeping, no draws.
+        row_attrs = [
+            self._draw_attributes(int(sel_counts[i].sum()), rng)
+            for i in range(num_rows)
+        ]
+        positions = np.concatenate([
+            np.repeat(np.arange(selected.size), sel_counts[i])
+            for i in range(num_rows)
+        ])
+        order = np.argsort(positions, kind="stable")
+        modes = np.concatenate([
+            np.full(len(row_attrs[i]["times"]), i, dtype=np.int64)
+            for i in range(num_rows)
+        ])[order].tolist()
+        chips = np.concatenate(
+            [a["chips"] for a in row_attrs])[order].tolist()
+        times = np.concatenate(
+            [a["times"] for a in row_attrs])[order].tolist()
+        addrs = np.concatenate(
+            [a["addrs"] for a in row_attrs])[order].tolist()
+        promote = np.concatenate(
+            [a["promote"] for a in row_attrs])[order].tolist()
+
+        chips_per_rank = self.scheme.chips_per_rank
+        ranks = self.scheme.ranks_per_channel
+        totals = sel_counts.sum(axis=0).tolist()
+        indices = selected.tolist()
+        offset = 0
+        for j, offset_in_shard in enumerate(indices):
+            faults: List[ChipFault] = []
+            for k in range(offset, offset + totals[j]):
+                faults.extend(self._build_fault(
+                    modes[k],
+                    chips[k],
+                    times[k],
+                    addrs[k],
+                    promote[k],
+                    chips_per_rank,
+                    ranks,
+                ))
+            offset += totals[j]
+            yield SampledSystem(start_index + offset_in_shard, faults)
+
+    def _draw_attributes(
+        self, total: int, rng: np.random.Generator
+    ) -> dict:
+        """One numpy batch of every per-fault attribute (size ``total``)."""
+        s = self.space
+        banks = rng.integers(0, self.geometry.banks, size=total)
+        rows = rng.integers(0, self.geometry.rows_per_bank, size=total)
+        cols = rng.integers(0, self.geometry.columns_per_row, size=total)
+        bits = rng.integers(0, 1 << (s.beat_bits + s.lane_bits), size=total)
+        return {
+            "chips": rng.integers(0, self.scheme.total_chips, size=total),
+            "times": rng.uniform(0.0, self.hours, size=total),
+            "addrs": (
+                (banks.astype(np.int64) << s.bank_shift)
+                | (rows.astype(np.int64) << s.row_shift)
+                | (cols.astype(np.int64) << s.column_shift)
+                | bits.astype(np.int64)
+            ),
+            "promote": rng.random(size=total),
+        }
 
     def materialise(
         self,

@@ -95,10 +95,12 @@ class ProtectionScheme:
 
     @property
     def chips_per_rank(self) -> int:
+        """Data chips per rank for this scheme's DIMM layout."""
         return self.data_chips + self.check_chips
 
     @property
     def total_chips(self) -> int:
+        """Chips across the whole simulated memory system."""
         return self.channels * self.ranks_per_channel * self.chips_per_rank
 
     def evaluate(
@@ -116,12 +118,14 @@ class ProtectionScheme:
 
     @staticmethod
     def colliding_pairs(faults: Sequence[ChipFault]):
+        """Yield every time-and-address-colliding fault pair."""
         for a, b in combinations(faults, 2):
             if a.collides_with(b):
                 yield a, b
 
     @staticmethod
     def colliding_triples(faults: Sequence[ChipFault]):
+        """Yield every jointly-colliding fault triple."""
         for a, b, c in combinations(faults, 3):
             if len({a.chip, b.chip, c.chip}) != 3:
                 continue
@@ -148,6 +152,7 @@ class NonEccScheme(ProtectionScheme):
     min_faults = 1
 
     def evaluate(self, faults, rng):
+        """Any non-correctable fault is an SDC (no detection at all)."""
         failure: Optional[SystemFailure] = None
         for f in self.visible(faults):
             failure = _earliest(
@@ -181,6 +186,7 @@ class EccDimmScheme(ProtectionScheme):
         self.sdc_fraction = sdc_fraction
 
     def evaluate(self, faults, rng):
+        """SECDED corrects 1-bit damage; wider damage is DUE/SDC."""
         failure: Optional[SystemFailure] = None
         for f in self.visible(faults):
             kind = (
@@ -223,6 +229,7 @@ class XedScheme(ProtectionScheme):
         self.misdiagnosis_sdc_probability = misdiagnosis_sdc_probability
 
     def evaluate(self, faults, rng):
+        """XED: on-die detect + erasure decode; pair collisions kill."""
         visible = self.visible(faults)
         failure: Optional[SystemFailure] = None
         for group in group_by_rank(visible).values():
@@ -272,6 +279,7 @@ class ChipkillScheme(ProtectionScheme):
     min_faults = 2
 
     def evaluate(self, faults, rng):
+        """Chipkill corrects any single chip; colliding pairs are DUE."""
         visible = self.visible(faults)
         failure: Optional[SystemFailure] = None
         for group in group_by_rank(visible).values():
@@ -294,6 +302,7 @@ class DoubleChipkillScheme(ProtectionScheme):
     min_faults = 3
 
     def evaluate(self, faults, rng):
+        """Double-Chipkill survives pairs; colliding triples are DUE."""
         visible = self.visible(faults)
         failure: Optional[SystemFailure] = None
         for group in group_by_rank(visible).values():
@@ -342,6 +351,7 @@ class XedChipkillScheme(ProtectionScheme):
         )
 
     def evaluate(self, faults, rng):
+        """XED+Chipkill: erasure-assisted double-chip correction."""
         visible = self.visible(faults)
         failure: Optional[SystemFailure] = None
         for group in group_by_rank(visible).values():

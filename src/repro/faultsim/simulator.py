@@ -6,6 +6,14 @@ fraction of systems that hit an uncorrectable, mis-corrected or silent
 error at any point -- exactly the figure of merit of Figures 1 and
 7-10.  Failure *times* are retained so the year-by-year curves the
 figures plot can be regenerated.
+
+The population is executed as deterministic *shards* (see
+:mod:`repro.faultsim.parallel`): ``num_systems`` is split into
+``shard_size`` ranges, each simulated under its own
+``numpy.random.SeedSequence`` child, and the per-shard results are
+merged in shard order.  The merged result is therefore bit-identical
+for a given ``(seed, num_systems, shard_size)`` whether the shards run
+in-process (``workers=1``) or on a multiprocessing pool.
 """
 
 from __future__ import annotations
@@ -20,11 +28,18 @@ import numpy as np
 
 from repro.faultsim.fault_models import FitTable, HOURS_PER_YEAR, LIFETIME_YEARS
 from repro.faultsim.injector import FaultSampler
+from repro.faultsim.parallel import plan_shards, resolve_shard_size, run_sharded
 from repro.faultsim.schemes import FailureKind, ProtectionScheme
 from repro.obs import OBS, events, get_logger
 from repro.obs.progress import progress
 
 log = get_logger("faultsim.simulator")
+
+#: Default systems per shard.  Small enough that the default population
+#: splits into several shards (parallel speedup and fine-grained
+#: progress), large enough that the per-shard numpy batches amortise
+#: dispatch overhead.
+DEFAULT_SHARD_SIZE = 25_000
 
 
 @dataclass
@@ -47,6 +62,7 @@ class MonteCarloConfig:
 
     @property
     def hours(self) -> float:
+        """Simulated lifetime in hours."""
         return self.years * HOURS_PER_YEAR
 
 
@@ -62,18 +78,22 @@ class ReliabilityResult:
 
     @property
     def failures(self) -> int:
+        """Number of failed systems (DUE + SDC)."""
         return len(self.failure_times_hours)
 
     @property
     def probability_of_failure(self) -> float:
+        """Point estimate of P(system failure) over the lifetime."""
         return self.failures / self.num_systems
 
     @property
     def due_count(self) -> int:
+        """Failed systems classified as detected-uncorrectable."""
         return sum(1 for k in self.kinds if k is FailureKind.DUE)
 
     @property
     def sdc_count(self) -> int:
+        """Failed systems classified as silent data corruption."""
         return sum(1 for k in self.kinds if k is FailureKind.SDC)
 
     def probability_by_year(self, year: float) -> float:
@@ -148,6 +168,7 @@ class ReliabilityResult:
         return other.probability_of_failure / self.probability_of_failure
 
     def format_summary(self) -> str:
+        """One human-readable line: P(fail), Wilson CI and DUE/SDC split."""
         lo, hi = self.confidence_interval()
         return (
             f"{self.scheme_name:34s} P(fail,{self.years:.0f}y) = "
@@ -157,19 +178,57 @@ class ReliabilityResult:
             f"DUE {self.due_count}, SDC {self.sdc_count})"
         )
 
+    @classmethod
+    def merge(cls, shards: Sequence["ReliabilityResult"]) -> "ReliabilityResult":
+        """Combine per-shard results into one population-level result.
 
-def simulate(
+        Shards must describe the same experiment (scheme and lifetime);
+        populations add, failure times/kinds concatenate **in the order
+        given**, so merging a deterministic shard plan reproduces the
+        single-process result bit for bit.  Derived statistics
+        (probability, Wilson interval, curves, MTTF) need no special
+        handling -- they are all computed from the merged population.
+        """
+        if not shards:
+            raise ValueError("merge() needs at least one shard result")
+        first = shards[0]
+        for shard in shards[1:]:
+            if shard.scheme_name != first.scheme_name:
+                raise ValueError(
+                    "cannot merge results of different schemes: "
+                    f"{first.scheme_name!r} vs {shard.scheme_name!r}"
+                )
+            if shard.years != first.years:
+                raise ValueError(
+                    "cannot merge results with different lifetimes: "
+                    f"{first.years} vs {shard.years}"
+                )
+        return cls(
+            scheme_name=first.scheme_name,
+            num_systems=sum(s.num_systems for s in shards),
+            years=first.years,
+            failure_times_hours=[
+                t for s in shards for t in s.failure_times_hours
+            ],
+            kinds=[k for s in shards for k in s.kinds],
+        )
+
+
+def _simulate_shard(
     scheme: ProtectionScheme,
-    config: Optional[MonteCarloConfig] = None,
-    batch_systems: int = 2_000_000,
+    config: MonteCarloConfig,
+    start_index: int,
+    num_systems: int,
+    seed_seq: np.random.SeedSequence,
 ) -> ReliabilityResult:
-    """Monte-Carlo simulate ``scheme`` under ``config``.
+    """Simulate one shard of the population (pool worker entry point).
 
-    The Poisson fault-count draw is vectorised over the whole
-    population; only systems with at least ``scheme.min_faults`` runtime
-    faults are materialised and walked through the scheme evaluator.
+    The shard's fault-arrival randomness comes exclusively from
+    ``seed_seq`` (a ``SeedSequence.spawn`` child); the per-system
+    evaluation RNG hashes the *global* system index together with the
+    experiment seed, so a system's outcome is independent of which
+    shard -- or which worker -- it landed in.
     """
-    config = config or MonteCarloConfig()
     sampler = FaultSampler(
         scheme,
         config.fit,
@@ -178,68 +237,124 @@ def simulate(
         scrub_hours=config.scrub_hours,
         device_width=config.device_width,
     )
-    rng = np.random.default_rng(config.seed)
+    rng = np.random.default_rng(seed_seq)
     failure_times: List[float] = []
     kinds: List[FailureKind] = []
-
-    started = perf_counter()
-    reporter = progress(config.num_systems, f"reliability {scheme.name}")
-    remaining = config.num_systems
-    base_index = 0
-    while remaining > 0:
-        batch = min(batch_systems, remaining)
-        counts = sampler.sample_counts(batch, rng)
-        mask = counts >= scheme.min_faults
-        indices = np.nonzero(mask)[0] + base_index
-        for system in sampler.materialise(indices, counts[mask], rng):
-            sys_rng = random.Random((config.seed << 20) ^ (system.index * 0x9E3779B1))
-            outcome = scheme.evaluate(system.faults, sys_rng)
-            if outcome is not None:
-                failure_times.append(outcome.time_hours)
-                kinds.append(outcome.kind)
-                if OBS.enabled:
-                    OBS.registry.counter("faultsim.failures").inc()
-                    OBS.registry.counter(
-                        f"faultsim.failure.{outcome.kind.value}"
-                    ).inc()
-                    OBS.trace.record(
-                        events.TrialCompleted(
-                            int(system.index),
-                            f"monte_carlo.{scheme.name}",
-                            outcome.kind.value,
-                            {"time_hours": int(outcome.time_hours)},
-                        )
+    for system in sampler.sample_shard(
+        start_index, num_systems, rng, min_faults=scheme.min_faults
+    ):
+        sys_rng = random.Random((config.seed << 20) ^ (system.index * 0x9E3779B1))
+        outcome = scheme.evaluate(system.faults, sys_rng)
+        if outcome is not None:
+            failure_times.append(outcome.time_hours)
+            kinds.append(outcome.kind)
+            if OBS.enabled:
+                OBS.registry.counter("faultsim.failures").inc()
+                OBS.registry.counter(
+                    f"faultsim.failure.{outcome.kind.value}"
+                ).inc()
+                OBS.trace.record(
+                    events.TrialCompleted(
+                        int(system.index),
+                        f"monte_carlo.{scheme.name}",
+                        outcome.kind.value,
+                        {"time_hours": int(outcome.time_hours)},
                     )
-        base_index += batch
-        remaining -= batch
-        reporter.update(batch)
-    reporter.close()
-
-    if OBS.enabled:
-        elapsed = perf_counter() - started
-        OBS.registry.counter("faultsim.systems").inc(config.num_systems)
-        if elapsed > 0:
-            OBS.registry.gauge("faultsim.systems_per_s").set(
-                config.num_systems / elapsed
-            )
-        OBS.registry.timer("faultsim.simulate_s").observe(elapsed)
-        log.info(
-            "%s: %d/%d systems failed in %.2fs",
-            scheme.name, len(failure_times), config.num_systems, elapsed,
-        )
-
+                )
     return ReliabilityResult(
         scheme_name=scheme.name,
-        num_systems=config.num_systems,
+        num_systems=num_systems,
         years=config.years,
         failure_times_hours=failure_times,
         kinds=kinds,
     )
 
 
+def simulate(
+    scheme: ProtectionScheme,
+    config: Optional[MonteCarloConfig] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    batch_systems: Optional[int] = None,
+) -> ReliabilityResult:
+    """Monte-Carlo simulate ``scheme`` under ``config``.
+
+    The population is split into deterministic shards of ``shard_size``
+    systems, each seeded by its own ``SeedSequence`` child and run on
+    ``workers`` processes (``workers=1`` runs the same shard plan
+    in-process).  Within a shard the Poisson fault-arrival draws are
+    batched per FIT-table row; only systems with at least
+    ``scheme.min_faults`` runtime faults are materialised and walked
+    through the scheme evaluator.
+
+    ``batch_systems`` is the pre-sharding name of ``shard_size`` and is
+    honoured as an alias when ``shard_size`` is not given.
+    """
+    config = config or MonteCarloConfig()
+    shard_size = resolve_shard_size(
+        config.num_systems,
+        shard_size if shard_size is not None else batch_systems,
+        DEFAULT_SHARD_SIZE,
+    )
+    shards = plan_shards(config.num_systems, shard_size)
+    seeds = np.random.SeedSequence(config.seed).spawn(max(1, len(shards)))
+    shard_args = [
+        (scheme, config, start, count, seeds[i])
+        for i, (start, count) in enumerate(shards)
+    ]
+
+    started = perf_counter()
+    reporter = progress(config.num_systems, f"reliability {scheme.name}")
+    shard_results = run_sharded(
+        _simulate_shard,
+        shard_args,
+        workers=workers,
+        on_shard_done=lambda i: reporter.update(shards[i][1]),
+    )
+    reporter.close()
+
+    result = (
+        ReliabilityResult.merge(shard_results)
+        if shard_results
+        else ReliabilityResult(
+            scheme_name=scheme.name,
+            num_systems=0,
+            years=config.years,
+            failure_times_hours=[],
+            kinds=[],
+        )
+    )
+
+    if OBS.enabled:
+        elapsed = perf_counter() - started
+        OBS.registry.counter("faultsim.systems").inc(config.num_systems)
+        OBS.registry.counter("faultsim.shards").inc(len(shards))
+        if elapsed > 0:
+            OBS.registry.gauge("faultsim.systems_per_s").set(
+                config.num_systems / elapsed
+            )
+        OBS.registry.gauge("faultsim.workers").set(workers)
+        OBS.registry.timer("faultsim.simulate_s").observe(elapsed)
+        log.info(
+            "%s: %d/%d systems failed in %.2fs "
+            "(%d shards x %d systems, %d workers)",
+            scheme.name, result.failures, config.num_systems, elapsed,
+            len(shards), shard_size, workers,
+        )
+
+    return result
+
+
 def simulate_many(
     schemes: Sequence[ProtectionScheme],
     config: Optional[MonteCarloConfig] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> Dict[str, ReliabilityResult]:
     """Run several schemes under one config (same seed, fresh streams)."""
-    return {scheme.name: simulate(scheme, config) for scheme in schemes}
+    return {
+        scheme.name: simulate(
+            scheme, config, workers=workers, shard_size=shard_size
+        )
+        for scheme in schemes
+    }

@@ -27,6 +27,7 @@ from repro.obs.events import (
     ErasureReconstruction,
     EventTrace,
     ReadClassified,
+    ReplayedEvent,
     ScrubPass,
     SerialRetry,
     TraceEvent,
@@ -65,6 +66,7 @@ __all__ = [
     "ScrubPass",
     "TrialCompleted",
     "ReadClassified",
+    "ReplayedEvent",
     "read_jsonl",
     "ProgressReporter",
     "progress",

@@ -33,6 +33,7 @@ __all__ = [
     "ScrubPass",
     "TrialCompleted",
     "ReadClassified",
+    "ReplayedEvent",
     "EventTrace",
     "read_jsonl",
 ]
@@ -49,6 +50,7 @@ class TraceEvent:
     kind = "event"
 
     def to_dict(self) -> Dict[str, object]:
+        """Serialise the event (kind, timestamp, payload fields)."""
         record: Dict[str, object] = {"event": self.kind}
         record.update(asdict(self))
         return record
@@ -161,6 +163,27 @@ class ReadClassified(TraceEvent):
     permanent: bool = True
 
 
+class ReplayedEvent(TraceEvent):
+    """An event re-hydrated from an exported record (dict payload).
+
+    Worker processes of a sharded run ship their trace back to the
+    parent as plain record dicts (see :meth:`EventTrace.to_records`);
+    the parent wraps each in a ``ReplayedEvent`` so merged traces export
+    identically to natively recorded ones.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        self.payload = dict(payload)
+        self.payload.pop("ts", None)
+        self.kind = str(self.payload.get("event", "event"))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a copy of the replayed payload (ts re-attached)."""
+        return dict(self.payload)
+
+
 class EventTrace:
     """Bounded ring buffer of ``(timestamp, event)`` pairs.
 
@@ -178,9 +201,25 @@ class EventTrace:
         self.dropped = 0
 
     def record(self, event: TraceEvent) -> None:
+        """Append an event stamped with the current time."""
+        self.record_at(time.time(), event)
+
+    def record_at(self, ts: float, event: TraceEvent) -> None:
+        """Record ``event`` with an explicit timestamp (trace merging)."""
         if len(self._events) == self.capacity:
             self.dropped += 1
-        self._events.append((time.time(), event))
+        self._events.append((ts, event))
+
+    def merge_records(self, records: List[Dict[str, object]]) -> None:
+        """Fold exported record dicts (:meth:`to_records`) into the trace.
+
+        Worker timestamps are preserved, so a merged trace still
+        correlates with external logs; capacity/eviction accounting
+        applies as if the events had been recorded natively.
+        """
+        for record in records:
+            ts = float(record.get("ts", 0.0))
+            self.record_at(ts, ReplayedEvent(record))
 
     def __len__(self) -> int:
         return len(self._events)
@@ -189,10 +228,12 @@ class EventTrace:
         return (event for _, event in self._events)
 
     def clear(self) -> None:
+        """Drop all buffered events."""
         self._events.clear()
         self.dropped = 0
 
     def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of buffered events by kind."""
         counts: Dict[str, int] = {}
         for _, event in self._events:
             counts[event.kind] = counts.get(event.kind, 0) + 1
@@ -201,6 +242,7 @@ class EventTrace:
     # -- export -------------------------------------------------------------
 
     def to_records(self) -> List[Dict[str, object]]:
+        """Buffered events as picklable dicts (for cross-process merge)."""
         records = []
         for ts, event in self._events:
             record = event.to_dict()
@@ -209,6 +251,7 @@ class EventTrace:
         return records
 
     def to_jsonl(self) -> str:
+        """Serialise the buffer as JSON-lines text."""
         lines = [
             json.dumps(
                 {
@@ -223,6 +266,7 @@ class EventTrace:
         return "\n".join(lines) + "\n"
 
     def write_jsonl(self, path: str) -> None:
+        """Write the buffer to ``path`` as JSON lines."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_jsonl())
 

@@ -51,11 +51,13 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (non-negative) to the counter."""
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
         self.value += amount
 
     def reset(self) -> None:
+        """Zero the counter."""
         self.value = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -73,12 +75,15 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
         self.value = float(value)
 
     def add(self, delta: float) -> None:
+        """Add ``delta`` to the gauge."""
         self.value += delta
 
     def reset(self) -> None:
+        """Zero the gauge."""
         self.value = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -117,6 +122,7 @@ class Histogram:
         self.max = -math.inf
 
     def observe(self, value: float) -> None:
+        """Record one sample into its bucket."""
         self.bucket_counts[bisect_left(self.buckets, value)] += 1
         self.count += 1
         self.total += value
@@ -127,9 +133,11 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Mean of all observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
+        """Forget all samples."""
         self.bucket_counts = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.total = 0.0
@@ -137,6 +145,7 @@ class Histogram:
         self.max = -math.inf
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready image: buckets, count, total, min, max."""
         labels = [f"le={b:g}" for b in self.buckets] + ["le=+Inf"]
         return {
             "count": self.count,
@@ -146,6 +155,34 @@ class Histogram:
             "max": self.max if self.count else None,
             "buckets": dict(zip(labels, self.bucket_counts)),
         }
+
+    def state(self) -> Dict[str, object]:
+        """Raw mergeable state (bucket *bounds*, not display labels)."""
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Both histograms must share bucket bounds -- merging differently
+        bucketed series would silently misplace observations.
+        """
+        if tuple(state["buckets"]) != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        for i, c in enumerate(state["bucket_counts"]):
+            self.bucket_counts[i] += c
+        self.count += state["count"]
+        self.total += state["total"]
+        self.min = min(self.min, state["min"])
+        self.max = max(self.max, state["max"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:g})"
@@ -193,6 +230,7 @@ class MetricsRegistry:
                 )
 
     def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter named ``name``."""
         metric = self._counters.get(name)
         if metric is None:
             self._check_free(name, self._counters)
@@ -200,6 +238,7 @@ class MetricsRegistry:
         return metric
 
     def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge named ``name``."""
         metric = self._gauges.get(name)
         if metric is None:
             self._check_free(name, self._gauges)
@@ -212,6 +251,7 @@ class MetricsRegistry:
         buckets: Sequence[float],
         help: str = "",
     ) -> Histogram:
+        """Get or create a histogram with the given bucket bounds."""
         metric = self._histograms.get(name)
         if metric is None:
             self._check_free(name, self._histograms)
@@ -224,6 +264,7 @@ class MetricsRegistry:
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
         help: str = "",
     ) -> Timer:
+        """Get or create a duration histogram (seconds)."""
         metric = self._timers.get(name)
         if metric is None:
             self._check_free(name, self._timers)
@@ -242,6 +283,39 @@ class MetricsRegistry:
             },
             "timers": {n: t.to_dict() for n, t in sorted(self._timers.items())},
         }
+
+    def state(self) -> Dict[str, Dict[str, object]]:
+        """A picklable, mergeable image of the registry.
+
+        Unlike :meth:`snapshot` (a display/export payload), the state
+        keeps raw histogram bucket bounds so a parent process can fold a
+        worker's metrics back in losslessly via :meth:`merge_state` --
+        the mechanism behind sharded Monte-Carlo/campaign runs.
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: h.state() for n, h in self._histograms.items()
+            },
+            "timers": {n: t.state() for n, t in self._timers.items()},
+        }
+
+    def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`state` from another registry into this one.
+
+        Counters add, histograms/timers merge bucket-wise, and gauges
+        take the incoming value (last writer wins -- gauges are point
+        samples, e.g. a worker's shard rate, not accumulables).
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name, hist_state["buckets"]).merge_state(hist_state)
+        for name, timer_state in state.get("timers", {}).items():
+            self.timer(name, timer_state["buckets"]).merge_state(timer_state)
 
     def dump_json(self, path: str, indent: int = 2) -> None:
         """Write the snapshot as one JSON document (``--metrics-out``)."""

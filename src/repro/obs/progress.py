@@ -47,6 +47,7 @@ class ProgressReporter:
         self._drew_anything = False
 
     def update(self, n: int = 1) -> None:
+        """Advance the progress count by ``n`` and maybe redraw."""
         self.done += n
         if not self.enabled:
             return
@@ -55,6 +56,7 @@ class ProgressReporter:
             self._draw(now)
 
     def set(self, done: int) -> None:
+        """Set the absolute progress count and maybe redraw."""
         self.update(done - self.done)
 
     def close(self) -> None:

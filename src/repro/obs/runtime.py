@@ -53,11 +53,13 @@ class Observability:
         self.trace = EventTrace()
 
     def enable(self, trace_capacity: Optional[int] = None) -> None:
+        """Turn instrumentation on (optionally resizing the trace)."""
         if trace_capacity is not None and trace_capacity != self.trace.capacity:
             self.trace = EventTrace(capacity=trace_capacity)
         self.enabled = True
 
     def disable(self) -> None:
+        """Turn instrumentation off (state is kept, not cleared)."""
         self.enabled = False
         self.progress_enabled = False
 

@@ -20,6 +20,8 @@ from repro.perfsim.timing import DDR3Timing
 
 
 class Cmd(enum.Enum):
+    """DRAM command kinds recorded by the command log."""
+
     ACT = "act"
     READ = "read"
     WRITE = "write"
@@ -46,12 +48,15 @@ class CommandLog:
     commands: List[LoggedCommand] = field(default_factory=list)
 
     def add(self, command: LoggedCommand) -> None:
+        """Append one issued DRAM command."""
         self.commands.append(command)
 
     def sorted_by_time(self) -> List[LoggedCommand]:
+        """All commands ordered by issue time."""
         return sorted(self.commands, key=lambda c: c.time)
 
     def per_bank(self) -> Dict[Tuple[int, int], List[LoggedCommand]]:
+        """Commands grouped by (rank, bank)."""
         banks: Dict[Tuple[int, int], List[LoggedCommand]] = {}
         for command in self.sorted_by_time():
             if command.cmd is Cmd.REFRESH:
@@ -60,6 +65,7 @@ class CommandLog:
         return banks
 
     def per_rank_acts(self) -> Dict[int, List[float]]:
+        """ACT issue times per rank (for tFAW auditing)."""
         ranks: Dict[int, List[float]] = {}
         for command in self.sorted_by_time():
             if command.cmd is Cmd.ACT:

@@ -58,6 +58,7 @@ class SchemeConfig:
         return self.burst_cycles * self.overfetch
 
     def describe(self) -> str:
+        """One-line human-readable description of the configuration."""
         parts = [f"{self.chips_per_access} chips"]
         if self.lockstep_ranks > 1:
             parts.append(f"{self.lockstep_ranks}-rank lockstep")

@@ -91,6 +91,7 @@ class Core:
         return self.current
 
     def consume(self) -> None:
+        """Retire non-memory work until the next memory instruction."""
         self.current = None
 
     # -- the ROB window ---------------------------------------------------------
@@ -114,10 +115,12 @@ class Core:
         return self.front_time + (position - self.front_pos) / self.rate
 
     def record_issue(self, op: TraceOp, t: float) -> None:
+        """Note a memory request issued at time ``t``."""
         self.front_pos = op.position
         self.front_time = t
 
     def track_read(self, position: int) -> None:
+        """Register an outstanding read the core may stall on."""
         entry = OutstandingRead(position)
         self.outstanding.append(entry)
         self._by_pos[position] = entry

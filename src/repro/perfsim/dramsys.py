@@ -53,11 +53,13 @@ class RankState:
     next_refresh: float = 0.0
 
     def faw_ready(self, timing: DDR3Timing) -> float:
+        """Earliest time the four-activate window admits a new ACT."""
         if len(self.act_history) < 4:
             return 0.0
         return self.act_history[0] + timing.tFAW
 
     def record_act(self, t: float) -> None:
+        """Record an ACT issue in the rolling tFAW window."""
         self.last_act = t
         self.act_history.append(t)
         if len(self.act_history) > 4:
@@ -82,11 +84,13 @@ class ChannelStats:
 
     @property
     def row_hit_rate(self) -> float:
+        """Fraction of reads served from an open row."""
         total = self.row_hits + self.row_misses + self.row_conflicts
         return self.row_hits / total if total else 0.0
 
     @property
     def mean_read_latency(self) -> float:
+        """Mean read latency in bus cycles (0.0 when no reads)."""
         return (
             self.sum_read_latency / self.reads_served if self.reads_served else 0.0
         )
@@ -132,9 +136,11 @@ class Channel:
 
     @property
     def write_queue_full(self) -> bool:
+        """True when the write queue is at capacity."""
         return len(self.write_q) >= self.system.write_queue_capacity
 
     def push(self, req: MemoryRequest) -> None:
+        """Enqueue one memory request."""
         if req.req_type is RequestType.READ:
             self.read_q.append(req)
         else:
@@ -142,6 +148,7 @@ class Channel:
 
     @property
     def idle(self) -> bool:
+        """True when no requests are queued or in flight."""
         return not self.read_q and not self.write_q
 
     # -- scheduling ------------------------------------------------------------

@@ -62,18 +62,22 @@ class SimulationResult:
 
     @property
     def total_instructions(self) -> int:
+        """Instructions retired across all cores."""
         return self.num_cores * self.instructions_per_core
 
     @property
     def exec_seconds(self) -> float:
+        """Simulated wall-clock execution time in seconds."""
         return self.exec_bus_cycles * self.bus_cycle_ns * 1e-9
 
     @property
     def ipc(self) -> float:
+        """Instructions per CPU cycle across the simulation."""
         cpu_cycles = self.exec_bus_cycles * 4.0
         return self.total_instructions / cpu_cycles if cpu_cycles else 0.0
 
     def normalized_time(self, baseline: "SimulationResult") -> float:
+        """Execution time relative to ``baseline`` (1.0 = equal)."""
         return self.exec_bus_cycles / baseline.exec_bus_cycles
 
 

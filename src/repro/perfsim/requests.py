@@ -8,6 +8,8 @@ from typing import Optional
 
 
 class RequestType(enum.Enum):
+    """Direction of a memory request (read or write)."""
+
     READ = "read"
     WRITE = "write"
 
@@ -38,10 +40,12 @@ class MemoryRequest:
 
     @property
     def served(self) -> bool:
+        """True once the request has completed."""
         return self.completion_time is not None
 
     @property
     def queue_latency(self) -> Optional[float]:
+        """Time spent queued before issue, or None if still waiting."""
         if self.issue_time is None:
             return None
         return self.issue_time - self.arrival

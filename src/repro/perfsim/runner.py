@@ -31,6 +31,7 @@ class BenchmarkRun:
 
     @property
     def exec_bus_cycles(self) -> float:
+        """Simulated execution time in DRAM bus cycles."""
         return self.result.exec_bus_cycles
 
 
@@ -109,6 +110,7 @@ def normalized_metric(
 
 
 def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's cross-workload summary statistic."""
     values = list(values)
     if not values:
         raise ValueError("geometric mean of nothing")

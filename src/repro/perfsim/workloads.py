@@ -112,6 +112,7 @@ SUITES: Tuple[str, ...] = ("SPEC", "PARSEC", "BIOBENCH", "COMMERCIAL")
 
 
 def workload_by_name(name: str) -> Workload:
+    """Look up one synthetic workload by name (KeyError if unknown)."""
     try:
         return _BY_NAME[name]
     except KeyError:
@@ -121,4 +122,5 @@ def workload_by_name(name: str) -> Workload:
 
 
 def suite_workloads(suite: str) -> List[Workload]:
+    """All workloads in a named suite (spec/mixed/stream)."""
     return [w for w in WORKLOADS if w.suite == suite]

@@ -1,0 +1,81 @@
+"""Unit tests for the docstring-coverage gate in tools/."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "check_docstrings", REPO_ROOT / "tools" / "check_docstrings.py"
+)
+check_docstrings = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docstrings)
+
+
+def _write(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return path
+
+
+def test_fully_documented_file_passes(tmp_path):
+    path = _write(tmp_path, '"""Module."""\n\n\ndef f():\n    """Doc."""\n')
+    assert check_docstrings.check_file(path) == []
+
+
+def test_missing_module_docstring_flagged(tmp_path):
+    path = _write(tmp_path, "x = 1\n")
+    violations = check_docstrings.check_file(path)
+    assert [(v[2], v[3]) for v in violations] == [("module", "mod")]
+
+
+def test_public_function_class_and_method_flagged(tmp_path):
+    path = _write(
+        tmp_path,
+        '"""Module."""\n\n\n'
+        "def f():\n    pass\n\n\n"
+        "class C:\n"
+        "    def m(self):\n        pass\n",
+    )
+    flagged = {(v[2], v[3]) for v in check_docstrings.check_file(path)}
+    assert flagged == {("function", "f"), ("class", "C"), ("method", "C.m")}
+
+
+def test_private_names_and_dunders_exempt(tmp_path):
+    path = _write(
+        tmp_path,
+        '"""Module."""\n\n\n'
+        "def _helper():\n    pass\n\n\n"
+        "class C:\n"
+        '    """Doc."""\n\n'
+        "    def __init__(self):\n        pass\n\n"
+        "    def _internal(self):\n        pass\n",
+    )
+    assert check_docstrings.check_file(path) == []
+
+
+def test_private_class_contents_not_recursed(tmp_path):
+    path = _write(
+        tmp_path,
+        '"""Module."""\n\n\n'
+        "class _Hidden:\n"
+        "    def visible_name(self):\n        pass\n",
+    )
+    assert check_docstrings.check_file(path) == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text('"""Module."""\n')
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f():\n    pass\n")
+    assert check_docstrings.main([str(good)]) == 0
+    assert check_docstrings.main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "function f" in out
+    assert check_docstrings.main([]) == 2
+    assert check_docstrings.main([str(tmp_path / "nope")]) == 2
+
+
+def test_repo_source_tree_is_clean():
+    assert check_docstrings.check_tree(REPO_ROOT / "src" / "repro") == []

@@ -75,3 +75,56 @@ class TestCommands:
 
         for class_name in RELIABILITY_SCHEMES.values():
             assert hasattr(fs, class_name)
+
+
+class TestParallelFlags:
+    def test_workers_zero_rejected_with_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["reliability", "--schemes", "xed", "--workers", "0"]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and "must be >= 1" in err
+        assert "Traceback" not in err
+
+    def test_workers_negative_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["campaign", "--kind", "xed", "--workers", "-3"]
+            )
+        assert exc.value.code == 2
+
+    def test_workers_non_numeric_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["reliability", "--schemes", "xed", "--workers", "lots"]
+            )
+        assert exc.value.code == 2
+
+    def test_shard_size_zero_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["reliability", "--schemes", "xed", "--shard-size", "0"]
+            )
+        assert exc.value.code == 2
+
+    def test_workers_default_is_sequential(self):
+        args = build_parser().parse_args(["reliability", "--schemes", "xed"])
+        assert args.workers == 1 and args.shard_size is None
+
+    def test_reliability_with_workers_smoke(self, capsys):
+        code = main([
+            "reliability", "--schemes", "xed",
+            "--systems", "20000", "--workers", "2", "--shard-size", "10000",
+        ])
+        assert code == 0
+        assert "XED (9 chips)" in capsys.readouterr().out
+
+    def test_campaign_with_workers_smoke(self, capsys):
+        code = main([
+            "campaign", "--kind", "xed", "--trials", "4",
+            "--workers", "2", "--shard-size", "2",
+        ])
+        assert code == 0
+        assert "scenarios" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API.
+
+Walks one or more source trees and reports every module, public class
+and public function/method (name not starting with ``_``) that lacks a
+docstring.  Exits non-zero when anything is missing, so CI can enforce
+that the public surface stays documented as the reproduction grows.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro [more/trees ...]
+
+Each violation is printed as ``path:lineno kind name`` -- clickable in
+most editors and trivially greppable.  ``__init__`` and other dunders
+are exempt (they document themselves through their class), as is any
+definition nested inside a private scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: (path, lineno, kind, qualified name) for one missing docstring.
+Violation = Tuple[Path, int, str, str]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_public(name: str) -> bool:
+    """True for names the package exports implicitly (no ``_`` prefix)."""
+    return not name.startswith("_")
+
+
+def _walk_scope(
+    node: ast.AST, prefix: str
+) -> Iterator[Tuple[ast.AST, str, str]]:
+    """Yield (node, kind, qualified name) for public defs under ``node``.
+
+    Recurses only into *public* classes: anything nested inside a
+    private class (or inside a function body) is implementation detail
+    and not part of the documented surface.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.ClassDef):
+            if not _is_public(child.name):
+                continue
+            qualname = f"{prefix}{child.name}"
+            yield child, "class", qualname
+            yield from _walk_scope(child, f"{qualname}.")
+        elif isinstance(child, _FUNC_NODES):
+            if not _is_public(child.name):
+                continue
+            kind = "method" if prefix else "function"
+            yield child, kind, f"{prefix}{child.name}"
+
+
+def check_file(path: Path) -> List[Violation]:
+    """Return every missing-docstring violation in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    violations: List[Violation] = []
+    if ast.get_docstring(tree) is None:
+        violations.append((path, 1, "module", path.stem))
+    for node, kind, qualname in _walk_scope(tree, ""):
+        if ast.get_docstring(node) is None:
+            violations.append((path, node.lineno, kind, qualname))
+    return violations
+
+
+def check_tree(root: Path) -> List[Violation]:
+    """Check every ``.py`` file under ``root`` (or ``root`` itself)."""
+    files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+    violations: List[Violation] = []
+    for path in files:
+        violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: check each tree, print violations, exit 0/1."""
+    if not argv:
+        print("usage: check_docstrings.py TREE [TREE ...]", file=sys.stderr)
+        return 2
+    violations: List[Violation] = []
+    for arg in argv:
+        root = Path(arg)
+        if not root.exists():
+            print(f"check_docstrings: no such path: {root}", file=sys.stderr)
+            return 2
+        violations.extend(check_tree(root))
+    for path, lineno, kind, qualname in violations:
+        print(f"{path}:{lineno} {kind} {qualname}")
+    if violations:
+        print(
+            f"check_docstrings: {len(violations)} public definition(s) "
+            "missing docstrings",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
