@@ -13,6 +13,7 @@ orderings*, not exact figures.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -115,18 +116,22 @@ def _run_table1(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
     )
 
 
-def _run_table2(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
+def _run_table2(
+    scale: str = "quick", seed: int = 2016, ecc_backend: str = "scalar"
+) -> ExperimentReport:
     samples = 20_000 if scale == "quick" else 200_000
     report = detection_table(
         {"Hamming": HammingSECDED(), "CRC8-ATM": CRC8ATMCode()},
         random_samples=samples,
         seed=seed,
+        backend=ecc_backend,
     )
     contiguous = detection_table(
         {"Hamming": HammingSECDED(), "CRC8-ATM": CRC8ATMCode()},
         random_samples=samples // 10,
         burst_mode="contiguous",
         seed=seed,
+        backend=ecc_backend,
     )
     lines = [report.format_table(), "",
              "(contiguous-run burst interpretation:)",
@@ -166,17 +171,28 @@ def _run_table4(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
 # ---------------------------------------------------------------------------
 
 def _reliability_config(
-    scale: str, seed: int, scaling_rate: float = 0.0, triple: bool = False
+    scale: str,
+    seed: int,
+    scaling_rate: float = 0.0,
+    triple: bool = False,
+    ecc_backend: str = "scalar",
 ) -> MonteCarloConfig:
     if triple:
         n = QUICK_SYSTEMS_TRIPLE if scale == "quick" else FULL_SYSTEMS_TRIPLE
     else:
         n = QUICK_SYSTEMS if scale == "quick" else FULL_SYSTEMS
-    return MonteCarloConfig(num_systems=n, seed=seed, scaling_rate=scaling_rate)
+    return MonteCarloConfig(
+        num_systems=n,
+        seed=seed,
+        scaling_rate=scaling_rate,
+        ecc_backend=ecc_backend,
+    )
 
 
-def _run_fig1(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
-    cfg = _reliability_config(scale, seed)
+def _run_fig1(
+    scale: str = "quick", seed: int = 2016, ecc_backend: str = "scalar"
+) -> ExperimentReport:
+    cfg = _reliability_config(scale, seed, ecc_backend=ecc_backend)
     schemes = [NonEccScheme(), EccDimmScheme(), ChipkillScheme()]
     results = [simulate(s, cfg) for s in schemes]
     ecc, chipkill = results[1], results[2]
@@ -235,9 +251,12 @@ def _run_fig6(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
 
 
 def _run_fig7(
-    scale: str = "quick", seed: int = 2016, scaling_rate: float = 0.0
+    scale: str = "quick",
+    seed: int = 2016,
+    scaling_rate: float = 0.0,
+    ecc_backend: str = "scalar",
 ) -> ExperimentReport:
-    cfg = _reliability_config(scale, seed, scaling_rate)
+    cfg = _reliability_config(scale, seed, scaling_rate, ecc_backend=ecc_backend)
     schemes = [EccDimmScheme(), XedScheme(), ChipkillScheme()]
     results = [simulate(s, cfg) for s in schemes]
     ecc, xed, chipkill = results
@@ -263,14 +282,21 @@ def _run_fig7(
     )
 
 
-def _run_fig8(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
-    return _run_fig7(scale, seed, scaling_rate=1e-4)
+def _run_fig8(
+    scale: str = "quick", seed: int = 2016, ecc_backend: str = "scalar"
+) -> ExperimentReport:
+    return _run_fig7(scale, seed, scaling_rate=1e-4, ecc_backend=ecc_backend)
 
 
 def _run_fig9(
-    scale: str = "quick", seed: int = 2016, scaling_rate: float = 0.0
+    scale: str = "quick",
+    seed: int = 2016,
+    scaling_rate: float = 0.0,
+    ecc_backend: str = "scalar",
 ) -> ExperimentReport:
-    cfg = _reliability_config(scale, seed, scaling_rate, triple=True)
+    cfg = _reliability_config(
+        scale, seed, scaling_rate, triple=True, ecc_backend=ecc_backend
+    )
     schemes = [ChipkillScheme(), DoubleChipkillScheme(), XedChipkillScheme()]
     results = [simulate(s, cfg) for s in schemes]
     single, double, xed_ck = results
@@ -297,8 +323,10 @@ def _run_fig9(
     )
 
 
-def _run_fig10(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
-    return _run_fig9(scale, seed, scaling_rate=1e-4)
+def _run_fig10(
+    scale: str = "quick", seed: int = 2016, ecc_backend: str = "scalar"
+) -> ExperimentReport:
+    return _run_fig9(scale, seed, scaling_rate=1e-4, ecc_backend=ecc_backend)
 
 
 # ---------------------------------------------------------------------------
@@ -475,9 +503,18 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "quick", seed: int = 2016
+    experiment_id: str,
+    scale: str = "quick",
+    seed: int = 2016,
+    ecc_backend: str = "scalar",
 ) -> ExperimentReport:
-    """Regenerate one of the paper's tables/figures by id."""
+    """Regenerate one of the paper's tables/figures by id.
+
+    ``ecc_backend`` selects the codec backend for experiments that
+    evaluate ECC codes (Table II's detection sweep, and the reliability
+    figures whose ECC-DIMM DUE/SDC split is measured from the decoder);
+    experiments with no codec involvement ignore it.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
@@ -485,13 +522,21 @@ def run_experiment(
         )
     if scale not in ("quick", "full"):
         raise ValueError("scale must be 'quick' or 'full'")
-    return EXPERIMENTS[experiment_id].runner(scale=scale, seed=seed)
+    from repro.ecc.batched import validate_backend
+
+    validate_backend(ecc_backend)
+    runner = EXPERIMENTS[experiment_id].runner
+    kwargs = {"scale": scale, "seed": seed}
+    if "ecc_backend" in inspect.signature(runner).parameters:
+        kwargs["ecc_backend"] = ecc_backend
+    return runner(**kwargs)
 
 
 def reproduce_all(
     scale: str = "quick",
     seed: int = 2016,
     experiment_ids: Optional[List[str]] = None,
+    ecc_backend: str = "scalar",
 ) -> Dict[str, ExperimentReport]:
     """Regenerate every table and figure (or a chosen subset), in the
     paper's order.  The whole-evaluation equivalent of the benchmark
@@ -502,4 +547,7 @@ def reproduce_all(
         "fig11", "fig12", "fig13", "fig14",
     ]
     ids = experiment_ids if experiment_ids is not None else order
-    return {exp_id: run_experiment(exp_id, scale, seed) for exp_id in ids}
+    return {
+        exp_id: run_experiment(exp_id, scale, seed, ecc_backend=ecc_backend)
+        for exp_id in ids
+    }

@@ -60,6 +60,21 @@ def _positive_int(value: str) -> int:
     return size
 
 
+def _add_ecc_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--ecc-backend`` to sub-commands that evaluate ECC codes.
+
+    ``batched`` routes codec work through the numpy bit-matrix kernels
+    of :mod:`repro.ecc.batched` (>= 10x faster on the Table II sweep);
+    ``scalar`` is the per-word golden model.  The two are verified
+    bit-identical by :mod:`repro.ecc.differential`.
+    """
+    parser.add_argument(
+        "--ecc-backend", choices=("scalar", "batched"), default="scalar",
+        help="ECC codec backend: per-word golden model (scalar, default) "
+             "or numpy bit-matrix kernels (batched)",
+    )
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the sharding/parallelism flags shared by long-running
     sub-commands (see docs/performance.md for guidance)."""
@@ -130,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("experiment_id", help="e.g. fig7, table2")
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
     exp.add_argument("--seed", type=int, default=2016)
+    _add_ecc_backend_flag(exp)
 
     rel = add_parser("reliability", help="Monte-Carlo scheme comparison")
     rel.add_argument(
@@ -141,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--scaling-rate", type=float, default=0.0)
     rel.add_argument("--scrub-hours", type=float, default=None)
     rel.add_argument("--seed", type=int, default=2016)
+    _add_ecc_backend_flag(rel)
     _add_parallel_flags(rel)
 
     perf = add_parser("perf", help="performance/power grid")
@@ -169,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export text+CSV into this directory")
     all_cmd.add_argument("--svg", action="store_true",
                          help="also render SVG charts where applicable")
+    _add_ecc_backend_flag(all_cmd)
 
     exp_out = add_parser(
         "export", help="regenerate an experiment and write text + CSVs"
@@ -179,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_out.add_argument("--out", default="results")
     exp_out.add_argument("--svg", action="store_true",
                          help="also render an SVG chart where applicable")
+    _add_ecc_backend_flag(exp_out)
 
     camp = add_parser("campaign", help="behavioural fault campaign")
     camp.add_argument("--kind", choices=("xed", "chipkill"), default="xed")
@@ -207,7 +226,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     try:
         report = run_experiment(args.experiment_id, scale=args.scale,
-                                seed=args.seed)
+                                seed=args.seed, ecc_backend=args.ecc_backend)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -225,6 +244,7 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         seed=args.seed,
         scaling_rate=args.scaling_rate,
         scrub_hours=args.scrub_hours,
+        ecc_backend=args.ecc_backend,
     )
     results = []
     for key in args.schemes:
@@ -288,7 +308,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
     from repro.analysis import reproduce_all
     from repro.analysis.export import export_report
 
-    reports = reproduce_all(scale=args.scale, seed=args.seed)
+    reports = reproduce_all(
+        scale=args.scale, seed=args.seed, ecc_backend=args.ecc_backend
+    )
     for report in reports.values():
         print(report.text)
         print()
@@ -305,7 +327,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     try:
         report = run_experiment(args.experiment_id, scale=args.scale,
-                                seed=args.seed)
+                                seed=args.seed, ecc_backend=args.ecc_backend)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2

@@ -13,6 +13,11 @@ This package implements, from scratch, every code the paper relies on:
 * :mod:`repro.ecc.secded` -- the common SECDED / on-die ECC interface.
 * :mod:`repro.ecc.detection` -- the detection-rate analysis harness that
   regenerates Table II of the paper.
+* :mod:`repro.ecc.batched` -- numpy bit-matrix kernels that evaluate
+  whole codeword batches, derived from (never parallel to) the scalar
+  codecs above.
+* :mod:`repro.ecc.differential` -- the replay harness that proves the
+  scalar and batched backends bit-identical.
 """
 
 from repro.ecc.secded import DecodeOutcome, DecodeResult, SECDEDCode
@@ -27,6 +32,25 @@ from repro.ecc.detection import (
     detection_rate_burst,
     detection_rate_random,
     detection_table,
+)
+from repro.ecc.batched import (
+    BACKENDS,
+    BatchDecodeResult,
+    BatchOutcome,
+    BatchedCode,
+    BatchedRSSyndromes,
+    CodeMatrices,
+    bits_to_words,
+    build_matrices,
+    validate_backend,
+    words_to_bits,
+)
+from repro.ecc.differential import (
+    DifferentialMismatch,
+    DifferentialReport,
+    replay_decode,
+    replay_encode,
+    replay_roundtrip,
 )
 
 __all__ = [
@@ -46,4 +70,19 @@ __all__ = [
     "detection_rate_burst",
     "detection_rate_random",
     "detection_table",
+    "BACKENDS",
+    "BatchDecodeResult",
+    "BatchOutcome",
+    "BatchedCode",
+    "BatchedRSSyndromes",
+    "CodeMatrices",
+    "bits_to_words",
+    "build_matrices",
+    "validate_backend",
+    "words_to_bits",
+    "DifferentialMismatch",
+    "DifferentialReport",
+    "replay_decode",
+    "replay_encode",
+    "replay_roundtrip",
 ]

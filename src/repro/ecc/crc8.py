@@ -101,8 +101,37 @@ class CRC8ATMCode(SECDEDCode):
         return shifted | check
 
     def is_codeword(self, word: int) -> bool:
-        """Fast validity check used by the detection-rate analysis."""
+        """Fast validity check used by the detection-rate analysis.
+
+        Validates the input width like :meth:`encode`/:meth:`decode` do:
+        the byte-folding remainder silently ignores bits above degree
+        71, so an unchecked oversized word (e.g. ``1 << 100``) would be
+        misreported as a valid codeword.
+        """
+        if not 0 <= word <= self.codeword_mask:
+            raise ValueError("word does not fit in 72 bits")
         return self._remainder(word) == 0
+
+    def to_matrices(self):
+        """Bit-matrix export: H columns are the scalar single-bit syndromes.
+
+        Column ``j`` of the parity-check matrix is ``x^j mod g(x)`` --
+        the same per-bit syndrome table the scalar decoder corrects
+        from -- so ``H @ word`` is the CRC remainder of the whole batch.
+        The generator matrix and correction LUT are derived from the
+        scalar ``encode``/``decode`` by
+        :func:`repro.ecc.batched.build_matrices`.
+        """
+        from repro.ecc.batched import build_matrices
+
+        check_masks = []
+        for b in range(self.num_check_bits):
+            mask = 0
+            for j, syndrome in enumerate(self._bit_syndrome):
+                if (syndrome >> b) & 1:
+                    mask |= 1 << j
+            check_masks.append(mask)
+        return build_matrices(self, check_masks)
 
     def split(self, word: int) -> tuple[int, int]:
         """Split a 72-bit codeword into (data, check) parts."""

@@ -17,6 +17,19 @@ Two burst interpretations are provided:
 The qualitative result is insensitive to the choice: CRC8-ATM detects
 100% of all bursts of length <= 8 (a degree-8 CRC property), while
 Hamming misses a large fraction of even-length bursts.
+
+Backends
+--------
+Every rate function takes ``backend="scalar"|"batched"``.  The scalar
+backend walks patterns through the per-word ``is_codeword`` check; the
+batched backend evaluates whole position batches through the bit-matrix
+kernels of :mod:`repro.ecc.batched` (>= 10x the codewords/sec -- see
+docs/performance.md).  Exhaustive pattern spaces produce identical
+rates under either backend; Monte-Carlo sampled spaces draw from a
+backend-specific (but seed-deterministic) stream, so sampled estimates
+agree in distribution rather than digit-for-digit.  Backend codec
+*outcomes* on identical patterns are always bit-identical -- that is
+enforced by :mod:`repro.ecc.differential`.
 """
 
 from __future__ import annotations
@@ -26,6 +39,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Sequence
 
+import numpy as np
+
+from repro.ecc.batched import validate_backend
 from repro.ecc.secded import SECDEDCode
 
 
@@ -64,6 +80,30 @@ def _random_patterns(
         yield pattern
 
 
+def _random_position_batch(
+    n: int, errors: int, samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(samples, errors)`` distinct flipped-bit positions per row.
+
+    Rejection-resamples rows containing duplicates, which conditions the
+    iid uniform draws on distinctness -- each accepted row is a uniform
+    random ``errors``-subset, the same distribution the scalar sampler's
+    ``random.sample`` produces.
+    """
+    positions = rng.integers(0, n, size=(samples, errors), dtype=np.int64)
+    # Only the freshly drawn rows need re-checking each round.
+    pending = np.arange(samples)
+    while pending.size:
+        ordered = np.sort(positions[pending], axis=1)
+        dup = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+        pending = pending[dup]
+        if pending.size:
+            positions[pending] = rng.integers(
+                0, n, size=(pending.size, errors), dtype=np.int64
+            )
+    return positions
+
+
 def _detection_fraction(code: SECDEDCode, patterns: Iterable[int]) -> tuple[int, int]:
     detected = 0
     total = 0
@@ -82,18 +122,39 @@ def detection_rate_random(
     samples: int = 20000,
     seed: int = 2016,
     exhaustive_limit: int = 300000,
+    backend: str = "scalar",
 ) -> float:
     """Detection rate for ``errors`` random bit flips.
 
     Uses exhaustive enumeration when the pattern space is small enough
     (e.g. all C(72,2) = 2556 double errors), otherwise Monte-Carlo
-    sampling with a fixed seed.
+    sampling with a fixed seed.  ``backend="batched"`` evaluates whole
+    position batches through the bit-matrix kernels; exhaustive spaces
+    give identical rates to the scalar backend, sampled spaces use a
+    numpy draw stream (still deterministic for a given seed).
     """
+    validate_backend(backend)
     n = code.n
     space = 1
     for i in range(errors):
         space = space * (n - i) // (i + 1)
-    if space <= exhaustive_limit:
+    exhaustive = space <= exhaustive_limit
+    if backend == "batched":
+        if exhaustive:
+            positions = np.fromiter(
+                itertools.chain.from_iterable(
+                    itertools.combinations(range(n), errors)
+                ),
+                dtype=np.int64,
+                count=space * errors,
+            ).reshape(space, errors)
+        else:
+            positions = _random_position_batch(
+                n, errors, samples, np.random.default_rng(seed)
+            )
+        syndromes = code.batched().syndromes_of_error_positions(positions)
+        return float((syndromes != 0).sum()) / len(positions)
+    if exhaustive:
         patterns: Iterable[int] = (
             _combo_to_pattern(c) for c in itertools.combinations(range(n), errors)
         )
@@ -111,9 +172,39 @@ def _combo_to_pattern(combo: Sequence[int]) -> int:
 
 
 def detection_rate_burst(
-    code: SECDEDCode, errors: int, mode: str = "aligned"
+    code: SECDEDCode, errors: int, mode: str = "aligned", backend: str = "scalar"
 ) -> float:
-    """Exhaustive detection rate for burst errors of ``errors`` flips."""
+    """Exhaustive detection rate for burst errors of ``errors`` flips.
+
+    Burst spaces are always enumerated exhaustively, so the two backends
+    return identical rates.
+    """
+    validate_backend(backend)
+    if backend == "batched":
+        n = code.n
+        if mode == "aligned":
+            if errors < 1 or errors > 8:
+                raise ValueError("more errors than lane bits")
+            if n % 8:
+                raise ValueError(
+                    "codeword length must be a multiple of the lane width"
+                )
+            combos = np.array(
+                list(itertools.combinations(range(8), errors)), dtype=np.int64
+            )
+            bases = np.arange(0, n, 8, dtype=np.int64)
+            positions = (
+                bases[:, None, None] + combos[None, :, :]
+            ).reshape(-1, errors)
+        elif mode == "contiguous":
+            if errors < 1 or errors > n:
+                raise ValueError("burst length out of range")
+            starts = np.arange(n - errors + 1, dtype=np.int64)
+            positions = starts[:, None] + np.arange(errors, dtype=np.int64)
+        else:
+            raise ValueError(f"unknown burst mode {mode!r}")
+        syndromes = code.batched().syndromes_of_error_positions(positions)
+        return float((syndromes != 0).sum()) / len(positions)
     if mode == "aligned":
         patterns: Iterable[int] = aligned_burst_patterns(code.n, errors)
     elif mode == "contiguous":
@@ -166,16 +257,25 @@ def detection_table(
     random_samples: int = 20000,
     burst_mode: str = "aligned",
     seed: int = 2016,
+    backend: str = "scalar",
 ) -> DetectionReport:
-    """Compute the full Table-II style report for the given codes."""
+    """Compute the full Table-II style report for the given codes.
+
+    ``backend="batched"`` routes every rate through the bit-matrix
+    kernels (the CLI exposes this as ``--ecc-backend``).
+    """
+    validate_backend(backend)
     report = DetectionReport(error_counts=list(error_counts))
     for name, code in codes.items():
         random_rates = [
-            detection_rate_random(code, e, samples=random_samples, seed=seed + e)
+            detection_rate_random(
+                code, e, samples=random_samples, seed=seed + e, backend=backend
+            )
             for e in error_counts
         ]
         burst_rates = [
-            detection_rate_burst(code, e, mode=burst_mode) for e in error_counts
+            detection_rate_burst(code, e, mode=burst_mode, backend=backend)
+            for e in error_counts
         ]
         report.rates[name] = {"random": random_rates, "burst": burst_rates}
     return report

@@ -1,0 +1,165 @@
+"""Differential verification of the scalar and batched ECC backends.
+
+The batched kernels in :mod:`repro.ecc.batched` are derived from the
+scalar codecs, but "derived" is a claim -- this harness is the proof
+mechanism.  It replays the same batch of words through both backends and
+asserts *bit-identical* outcomes: the decode classification, the decoded
+data bits, and the corrected-bit index must agree word for word, and
+encodings must agree bit for bit.  The property/exhaustive tests in
+``tests/unit`` and the ``bench_core_ops`` kernel benchmarks both drive
+the same entry points, so the guarantee the tests establish is exactly
+the guarantee the benchmarked configuration runs under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ecc.batched import (
+    BatchedCode,
+    BatchOutcome,
+    OUTCOME_CODE,
+    bits_to_words,
+    words_to_bits,
+)
+from repro.ecc.secded import SECDEDCode
+from repro.obs import OBS
+
+
+class DifferentialMismatch(AssertionError):
+    """The two backends disagreed on at least one word of a batch."""
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Summary of one backend-agreement replay.
+
+    ``outcome_counts`` maps :class:`~repro.ecc.batched.BatchOutcome`
+    names to how many words of the batch landed there -- meaningful only
+    because both backends were verified to agree on every word.
+    """
+
+    code_name: str
+    words: int
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        counts = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.outcome_counts.items())
+        )
+        return (
+            f"{self.code_name}: {self.words} words bit-identical "
+            f"across backends ({counts})"
+        )
+
+
+def _mismatch(code: SECDEDCode, what: str, indices: np.ndarray) -> DifferentialMismatch:
+    shown = ", ".join(str(i) for i in indices[:5])
+    suffix = "..." if len(indices) > 5 else ""
+    return DifferentialMismatch(
+        f"{type(code).__name__}: scalar and batched backends disagree on "
+        f"{what} for {len(indices)} word(s) (indices {shown}{suffix})"
+    )
+
+
+def replay_encode(
+    code: SECDEDCode,
+    data_words: Sequence[int],
+    batched: Optional[BatchedCode] = None,
+) -> List[int]:
+    """Encode ``data_words`` through both backends, asserting equality.
+
+    Returns the (agreed) codewords as integers so callers can feed them
+    onward into a decode replay.
+    """
+    batched = batched or code.batched()
+    scalar = [code.encode(d) for d in data_words]
+    vector = bits_to_words(batched.encode(words_to_bits(data_words, code.k)))
+    if scalar != vector:
+        bad = np.nonzero(
+            [s != v for s, v in zip(scalar, vector)]
+        )[0]
+        raise _mismatch(code, "encodings", bad)
+    if OBS.enabled:
+        OBS.registry.counter("ecc.differential.encoded_words").inc(
+            len(data_words)
+        )
+    return scalar
+
+
+def replay_decode(
+    code: SECDEDCode,
+    words: Sequence[int],
+    batched: Optional[BatchedCode] = None,
+) -> DifferentialReport:
+    """Decode ``words`` through both backends, asserting bit-identity.
+
+    Every word is decoded by the scalar ``code.decode`` loop and by one
+    call of the batched kernel; outcome class, decoded data and
+    corrected-bit index must match element-wise or
+    :class:`DifferentialMismatch` is raised naming the first offenders.
+    """
+    batched = batched or code.batched()
+    scalar_outcome = np.empty(len(words), dtype=np.int8)
+    scalar_data: List[int] = []
+    scalar_bit = np.empty(len(words), dtype=np.int16)
+    for i, word in enumerate(words):
+        result = code.decode(word)
+        scalar_outcome[i] = OUTCOME_CODE[result.outcome]
+        scalar_data.append(result.data)
+        scalar_bit[i] = -1 if result.corrected_bit is None else result.corrected_bit
+
+    batch = batched.decode(words_to_bits(words, code.n))
+    if not np.array_equal(scalar_outcome, batch.outcome):
+        raise _mismatch(
+            code, "decode outcomes",
+            np.nonzero(scalar_outcome != batch.outcome)[0],
+        )
+    vector_data = batch.data_words()
+    if scalar_data != vector_data:
+        bad = np.nonzero(
+            [s != v for s, v in zip(scalar_data, vector_data)]
+        )[0]
+        raise _mismatch(code, "decoded data", bad)
+    if not np.array_equal(scalar_bit, batch.corrected_bit):
+        raise _mismatch(
+            code, "corrected-bit indices",
+            np.nonzero(scalar_bit != batch.corrected_bit)[0],
+        )
+
+    if OBS.enabled:
+        OBS.registry.counter("ecc.differential.decoded_words").inc(len(words))
+    counts: Dict[str, int] = {}
+    for value, count in zip(*np.unique(scalar_outcome, return_counts=True)):
+        counts[BatchOutcome(int(value)).name] = int(count)
+    return DifferentialReport(
+        code_name=type(code).__name__,
+        words=len(words),
+        outcome_counts=counts,
+    )
+
+
+def replay_roundtrip(
+    code: SECDEDCode,
+    data_words: Sequence[int],
+    error_patterns: Optional[Sequence[int]] = None,
+    batched: Optional[BatchedCode] = None,
+) -> DifferentialReport:
+    """Encode, optionally corrupt, then decode -- all differentially.
+
+    ``error_patterns`` (XORed onto the codewords) defaults to no
+    corruption; pass one pattern per data word.  This is the single
+    entry point the property suite and the benchmarks use: one call
+    proves backend agreement along the whole encode->corrupt->decode
+    pipeline for a batch.
+    """
+    batched = batched or code.batched()
+    codewords = replay_encode(code, data_words, batched=batched)
+    if error_patterns is not None:
+        if len(error_patterns) != len(codewords):
+            raise ValueError("need exactly one error pattern per data word")
+        codewords = [w ^ e for w, e in zip(codewords, error_patterns)]
+    return replay_decode(code, codewords, batched=batched)

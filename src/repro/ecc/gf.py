@@ -14,7 +14,9 @@ Monte-Carlo use.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 #: Default primitive polynomials (with the x^m term included) for the
 #: field sizes the memory system cares about.  Keys are ``m``.
@@ -64,6 +66,8 @@ class GF2m:
         self.primitive_poly = primitive_poly
         self._exp: List[int] = [0] * (2 * self.order)
         self._log: List[int] = [0] * self.size
+        self._np_exp: Optional[np.ndarray] = None
+        self._np_log: Optional[np.ndarray] = None
         self._build_tables()
 
     def _build_tables(self) -> None:
@@ -137,6 +141,37 @@ class GF2m:
         if a == 0:
             raise ValueError("log(0) undefined in GF(2^m)")
         return self._log[a]
+
+    # -- numpy table exports (the batched-kernel substrate) ----------------
+
+    @property
+    def exp_table(self) -> np.ndarray:
+        """Antilog table as numpy: ``exp_table[i] == alpha^i`` for i in [0, order).
+
+        Read-only view shared by the vectorised codecs in
+        :mod:`repro.ecc.batched`; gather with exponents reduced modulo
+        :attr:`order`.
+        """
+        if self._np_exp is None:
+            table = np.array(self._exp[: self.order], dtype=np.int64)
+            table.setflags(write=False)
+            self._np_exp = table
+        return self._np_exp
+
+    @property
+    def log_table(self) -> np.ndarray:
+        """Log table as numpy: ``log_table[a]`` for nonzero ``a``.
+
+        Entry 0 is a placeholder (the discrete log of zero does not
+        exist); batched callers must mask zero symbols out of any
+        product built from this table, exactly as :meth:`mul` special
+        cases zero operands.
+        """
+        if self._np_log is None:
+            table = np.array(self._log, dtype=np.int64)
+            table.setflags(write=False)
+            self._np_log = table
+        return self._np_log
 
     # -- polynomial operations (coefficient lists, lowest degree first) ---
 

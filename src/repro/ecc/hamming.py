@@ -109,7 +109,24 @@ class HammingSECDED(SECDEDCode):
 
     def is_codeword(self, word: int) -> bool:
         """Fast validity check used by the detection-rate analysis."""
+        if not 0 <= word <= self.codeword_mask:
+            raise ValueError("word does not fit in 72 bits")
         return self._syndrome(word) == 0 and popcount(word) % 2 == 0
+
+    def to_matrices(self):
+        """Bit-matrix export: H rows are this decoder's own syndrome masks.
+
+        The seven Hamming syndrome masks plus the all-ones overall-parity
+        row (the SECDED upgrade) form the parity-check matrix; the
+        generator matrix and correction LUT are derived from -- and
+        cross-checked against -- the scalar ``encode``/``decode`` by
+        :func:`repro.ecc.batched.build_matrices`.
+        """
+        from repro.ecc.batched import build_matrices
+
+        return build_matrices(
+            self, [*self._syndrome_masks, (1 << self.n) - 1]
+        )
 
     def split(self, word: int) -> tuple[int, int]:
         """Split a 72-bit codeword into (data, check) parts."""

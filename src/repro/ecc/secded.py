@@ -109,6 +109,34 @@ class SECDEDCode:
         """Systematic data-bit index of a codeword bit (None for check bits)."""
         raise NotImplementedError
 
+    def to_matrices(self):
+        """Export the code as (G, H, correction LUT) bit matrices.
+
+        Concrete codes override this to hand their own syndrome masks to
+        :func:`repro.ecc.batched.build_matrices`, which derives the
+        generator matrix and correction table from the scalar
+        ``encode``/``decode`` implementations -- the batched kernels are
+        projections of the scalar truth, never re-implementations.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not export bit matrices"
+        )
+
+    def batched(self):
+        """The cached :class:`repro.ecc.batched.BatchedCode` view.
+
+        Building the matrices costs a few hundred scalar encodes and
+        decodes, so the view is constructed once per code instance and
+        reused by every batched sweep.
+        """
+        cached = getattr(self, "_batched", None)
+        if cached is None:
+            from repro.ecc.batched import BatchedCode
+
+            cached = BatchedCode(self)
+            self._batched = cached
+        return cached
+
     # -- shared helpers -----------------------------------------------------
 
     def encode_systematic(self, data: int) -> tuple[int, int]:

@@ -59,6 +59,9 @@ class MonteCarloConfig:
     scaling_rate: float = 0.0
     scrub_hours: Optional[float] = None
     device_width: int = 8
+    #: Which ECC codec backend evaluates measured code parameters
+    #: (e.g. the ECC-DIMM DUE/SDC split): "scalar" or "batched".
+    ecc_backend: str = "scalar"
 
     @property
     def hours(self) -> float:
@@ -236,6 +239,7 @@ def _simulate_shard(
         scaling_rate=config.scaling_rate,
         scrub_hours=config.scrub_hours,
         device_width=config.device_width,
+        ecc_backend=config.ecc_backend,
     )
     rng = np.random.default_rng(seed_seq)
     failure_times: List[float] = []
@@ -291,6 +295,8 @@ def simulate(
     honoured as an alias when ``shard_size`` is not given.
     """
     config = config or MonteCarloConfig()
+    # Bind before shard fan-out so workers receive the bound scheme.
+    scheme.bind_ecc_backend(config.ecc_backend)
     shard_size = resolve_shard_size(
         config.num_systems,
         shard_size if shard_size is not None else batch_systems,
@@ -329,6 +335,9 @@ def simulate(
         elapsed = perf_counter() - started
         OBS.registry.counter("faultsim.systems").inc(config.num_systems)
         OBS.registry.counter("faultsim.shards").inc(len(shards))
+        OBS.registry.counter(
+            f"faultsim.ecc_backend.{config.ecc_backend}"
+        ).inc()
         if elapsed > 0:
             OBS.registry.gauge("faultsim.systems_per_s").set(
                 config.num_systems / elapsed

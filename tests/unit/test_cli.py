@@ -128,3 +128,38 @@ class TestParallelFlags:
         ])
         assert code == 0
         assert "scenarios" in capsys.readouterr().out
+
+
+class TestEccBackendFlag:
+    def test_default_is_scalar(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.ecc_backend == "scalar"
+
+    def test_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "table2", "--ecc-backend", "simd"]
+            )
+
+    def test_flag_present_on_reliability_all_export(self):
+        for argv in (
+            ["reliability", "--ecc-backend", "batched"],
+            ["all", "--ecc-backend", "batched"],
+            ["export", "table2", "--ecc-backend", "batched"],
+        ):
+            assert build_parser().parse_args(argv).ecc_backend == "batched"
+
+    def test_experiment_table2_batched_runs(self, capsys):
+        assert main(
+            ["experiment", "table2", "--ecc-backend", "batched"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Detection-rate" in out
+
+    def test_reliability_batched_matches_scalar(self, capsys):
+        argv = ["reliability", "--schemes", "ecc_dimm", "--systems", "20000"]
+        assert main(argv) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(argv + ["--ecc-backend", "batched"]) == 0
+        batched_out = capsys.readouterr().out
+        assert scalar_out == batched_out

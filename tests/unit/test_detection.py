@@ -104,3 +104,56 @@ class TestDetectionTable:
         text = report.format_table()
         assert "Hamming" in text and "CRC8-ATM" in text
         assert "100.00%" in text
+
+
+class TestBackendEquality:
+    """Scalar and batched backends on the same pattern spaces."""
+
+    def test_exhaustive_random_rates_identical(self, secded_code):
+        for errors in (1, 2, 3):
+            scalar = detection_rate_random(secded_code, errors)
+            batched = detection_rate_random(
+                secded_code, errors, backend="batched"
+            )
+            assert scalar == batched
+
+    def test_burst_rates_identical(self, secded_code):
+        for errors in (1, 2, 4, 8):
+            for mode in ("aligned", "contiguous"):
+                scalar = detection_rate_burst(secded_code, errors, mode=mode)
+                batched = detection_rate_burst(
+                    secded_code, errors, mode=mode, backend="batched"
+                )
+                assert scalar == batched
+
+    def test_sampled_rates_agree_in_distribution(self, hamming):
+        scalar = detection_rate_random(hamming, 4, samples=20000, seed=3)
+        batched = detection_rate_random(
+            hamming, 4, samples=20000, seed=3, backend="batched"
+        )
+        assert scalar == pytest.approx(batched, abs=0.01)
+
+    def test_batched_sampled_deterministic_given_seed(self, hamming):
+        a = detection_rate_random(
+            hamming, 6, samples=2000, seed=7, backend="batched"
+        )
+        b = detection_rate_random(
+            hamming, 6, samples=2000, seed=7, backend="batched"
+        )
+        assert a == b
+
+    def test_table_identical_on_exhaustive_counts(self):
+        codes = {"Hamming": HammingSECDED(), "CRC8-ATM": CRC8ATMCode()}
+        scalar = detection_table(codes, error_counts=(1, 2, 3))
+        batched = detection_table(
+            codes, error_counts=(1, 2, 3), backend="batched"
+        )
+        assert scalar.rates == batched.rates
+
+    def test_unknown_backend_rejected(self, hamming):
+        with pytest.raises(ValueError):
+            detection_rate_random(hamming, 2, backend="simd")
+        with pytest.raises(ValueError):
+            detection_rate_burst(hamming, 2, backend="simd")
+        with pytest.raises(ValueError):
+            detection_table({"h": hamming}, backend="simd")

@@ -1,0 +1,96 @@
+"""Hypothesis property suite for the ECC codecs, against BOTH backends.
+
+Every property here is phrased over the differential harness
+(:mod:`repro.ecc.differential`), so each example simultaneously checks
+the scalar golden model, the batched kernels, and their bit-identity:
+
+* encode/decode round-trips for arbitrary data batches;
+* a single flipped bit is always corrected back to the injected
+  position;
+* any two flipped bits are always a detected-uncorrectable for the
+  Hamming code (and CRC8 -- both are true SECDED at length 72);
+* any burst of length <= 8 is always detected by CRC8-ATM (the
+  degree-8 CRC guarantee behind Table II's 100% burst column).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.batched import BatchOutcome
+from repro.ecc.differential import replay_decode, replay_roundtrip
+
+data64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+bitpos = st.integers(min_value=0, max_value=71)
+data_batches = st.lists(data64, min_size=1, max_size=32)
+
+
+class TestRoundTripBothBackends:
+    @given(data=data_batches)
+    @settings(max_examples=60)
+    def test_clean_roundtrip(self, secded_code, data):
+        report = replay_roundtrip(secded_code, data)
+        assert report.outcome_counts == {
+            BatchOutcome.NO_ERROR.name: len(data)
+        }
+
+    @given(words=st.lists(
+        st.integers(min_value=0, max_value=(1 << 72) - 1),
+        min_size=1, max_size=32,
+    ))
+    @settings(max_examples=60)
+    def test_arbitrary_words_agree(self, secded_code, words):
+        """Backends agree on every word, codeword or not."""
+        report = replay_decode(secded_code, words)
+        assert report.words == len(words)
+
+
+class TestSingleBitCorrection:
+    @given(data=data64, bit=bitpos)
+    @settings(max_examples=80)
+    def test_single_bit_corrected_to_injected_position(
+        self, secded_code, data, bit
+    ):
+        codeword = replay_roundtrip(secded_code, [data], [1 << bit])
+        assert codeword.outcome_counts == {BatchOutcome.CORRECTED.name: 1}
+        # The harness already asserted both backends name the same
+        # corrected bit; pin it to the *injected* position via scalar.
+        result = secded_code.decode(secded_code.encode(data) ^ (1 << bit))
+        assert result.corrected_bit == bit
+        assert result.data == data
+
+
+class TestDoubleBitDetection:
+    @given(data=data64, b1=bitpos, b2=bitpos)
+    @settings(max_examples=80)
+    def test_double_bit_is_due(self, secded_code, data, b1, b2):
+        if b1 == b2:
+            return
+        pattern = (1 << b1) | (1 << b2)
+        report = replay_roundtrip(secded_code, [data], [pattern])
+        assert report.outcome_counts == {
+            BatchOutcome.DETECTED_UNCORRECTABLE.name: 1
+        }
+
+
+class TestCRC8BurstGuarantee:
+    @given(
+        data=data64,
+        start=st.integers(min_value=0, max_value=71),
+        length=st.integers(min_value=1, max_value=8),
+        interior=st.integers(min_value=0, max_value=(1 << 6) - 1),
+    )
+    @settings(max_examples=120)
+    def test_burst_up_to_8_always_detected(
+        self, crc8, data, start, length, interior
+    ):
+        if start + length > 72:
+            start = 72 - length
+        # Fixed endpoints, free interior: the general length-L burst.
+        pattern = 1 if length == 1 else (1 << (length - 1)) | 1
+        pattern |= (interior & ((1 << max(0, length - 2)) - 1)) << 1
+        report = replay_roundtrip(crc8, [data], [pattern << start])
+        # Never silent: weight-1 bursts correct, wider ones are DUE or
+        # (for weight 2 at distance < 8 aliasing a single) corrected --
+        # but *detected* means the syndrome is non-zero, i.e. the word
+        # is never accepted as clean.
+        assert BatchOutcome.NO_ERROR.name not in report.outcome_counts

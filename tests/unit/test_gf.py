@@ -168,3 +168,80 @@ class TestPolynomials:
     def test_gf16_small_field(self):
         for a in range(1, 16):
             assert GF16.mul(a, GF16.inv(a)) == 1
+
+
+class TestEdgeCases:
+    """Boundary behaviour the Reed-Solomon and batched layers lean on."""
+
+    def test_alpha_pow_wraps_at_group_order(self):
+        gf = GF256
+        # alpha^order == alpha^0 == 1; exponents reduce mod 255.
+        assert gf.alpha_pow(gf.order) == 1
+        assert gf.alpha_pow(gf.order + 1) == gf.alpha_pow(1)
+        assert gf.alpha_pow(7 * gf.order + 13) == gf.alpha_pow(13)
+        assert gf.alpha_pow(-1) == gf.alpha_pow(gf.order - 1)
+
+    def test_inverse_of_one_is_one(self):
+        assert GF256.inv(1) == 1
+        assert GF16.inv(1) == 1
+
+    def test_inverse_of_order_boundary_element(self):
+        gf = GF256
+        # alpha^(order-1) is the last distinct power; its inverse is alpha.
+        last = gf.alpha_pow(gf.order - 1)
+        assert gf.mul(last, gf.alpha_pow(1)) == 1
+        assert gf.inv(last) == gf.alpha_pow(1)
+
+    def test_division_by_zero_raises_everywhere(self):
+        for gf in (GF256, GF16):
+            with pytest.raises(ZeroDivisionError):
+                gf.div(1, 0)
+            with pytest.raises(ZeroDivisionError):
+                gf.div(0, 0)
+            with pytest.raises(ZeroDivisionError):
+                gf.inv(0)
+
+    def test_log_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            GF256.log(0)
+
+    def test_gf2_16_construction(self):
+        gf = GF2m(16)
+        assert gf.size == 1 << 16
+        assert gf.order == (1 << 16) - 1
+        assert gf.alpha_pow(0) == 1
+        assert gf.alpha_pow(gf.order) == 1
+        # Spot-check inverses across the large field.
+        for a in (1, 2, 0x8000, 0xFFFF, 0x1234):
+            assert gf.mul(a, gf.inv(a)) == 1
+
+    def test_rejects_m_above_16(self):
+        with pytest.raises(ValueError):
+            GF2m(17)
+
+
+class TestNumpyTableExports:
+    """The log/antilog arrays the batched RS kernels gather from."""
+
+    def test_exp_table_matches_alpha_pow(self):
+        gf = GF256
+        table = gf.exp_table
+        assert table.shape == (gf.order,)
+        for i in (0, 1, 100, gf.order - 1):
+            assert int(table[i]) == gf.alpha_pow(i)
+
+    def test_log_table_matches_log_for_nonzero(self):
+        gf = GF256
+        table = gf.log_table
+        assert table.shape == (gf.size,)
+        for a in (1, 2, 0x80, 0xFF):
+            assert int(table[a]) == gf.log(a)
+
+    def test_tables_are_cached_and_read_only(self):
+        gf = GF2m(4)
+        assert gf.exp_table is gf.exp_table
+        assert gf.log_table is gf.log_table
+        with pytest.raises(ValueError):
+            gf.exp_table[0] = 99
+        with pytest.raises(ValueError):
+            gf.log_table[1] = 99

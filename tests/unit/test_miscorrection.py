@@ -55,3 +55,46 @@ class TestSchemeIntegration:
 
     def test_override_still_supported(self):
         assert EccDimmScheme(sdc_fraction=0.1).sdc_fraction == 0.1
+
+
+class TestBackendEquality:
+    def test_profiles_bit_identical_across_backends(self):
+        """Both backends classify the identical drawn sample set."""
+        for code in (HammingSECDED(), CRC8ATMCode()):
+            scalar = measure_lane_error_profile(code, samples=4000)
+            batched = measure_lane_error_profile(
+                code, samples=4000, backend="batched"
+            )
+            assert scalar == batched
+
+    def test_lane_and_width_respected_by_batched(self):
+        scalar = measure_lane_error_profile(
+            HammingSECDED(), lane=3, lane_bits=4, samples=3000
+        )
+        batched = measure_lane_error_profile(
+            HammingSECDED(), lane=3, lane_bits=4, samples=3000,
+            backend="batched",
+        )
+        assert scalar == batched
+
+    def test_sdc_fraction_backend_invariant(self):
+        assert hamming_chip_error_sdc_fraction(
+            8000
+        ) == hamming_chip_error_sdc_fraction(8000, backend="batched")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            measure_lane_error_profile(
+                HammingSECDED(), samples=100, backend="turbo"
+            )
+
+    def test_scheme_bind_backend_keeps_measured_fraction(self):
+        scheme = EccDimmScheme()
+        before = scheme.sdc_fraction
+        scheme.bind_ecc_backend("batched")
+        assert scheme.sdc_fraction == before
+
+    def test_scheme_bind_backend_keeps_override(self):
+        scheme = EccDimmScheme(sdc_fraction=0.25)
+        scheme.bind_ecc_backend("batched")
+        assert scheme.sdc_fraction == 0.25

@@ -66,6 +66,24 @@ class TestSharedSECDEDContract:
         with pytest.raises(ValueError):
             secded_code.decode(1 << 72)
 
+    def test_is_codeword_rejects_oversized_word(self, secded_code):
+        """Regression: is_codeword used to silently truncate wide words.
+
+        ``CRC8ATMCode.is_codeword(1 << 100)`` reported True (the
+        byte-folding remainder ignores bits above degree 71) and the
+        Hamming implementation masked high bits away; both must validate
+        input width exactly like ``encode``/``decode`` do.
+        """
+        for word in (1 << 72, 1 << 100, (1 << 73) | 1, -1):
+            with pytest.raises(ValueError):
+                secded_code.is_codeword(word)
+
+    def test_is_codeword_accepts_boundary_words(self, secded_code):
+        assert secded_code.is_codeword(secded_code.encode((1 << 64) - 1))
+        assert secded_code.is_codeword(0)
+        # The top in-range word must be judged, not rejected.
+        secded_code.is_codeword((1 << 72) - 1)
+
     def test_detects_raises_on_zero_pattern(self, secded_code):
         with pytest.raises(ValueError):
             secded_code.detects(0)
