@@ -10,8 +10,9 @@ paper's figures without re-running the simulations.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.experiments import ExperimentReport
 from repro.ecc.detection import DetectionReport
@@ -22,12 +23,20 @@ def export_report(
     report: ExperimentReport,
     directory: str | Path,
     svg: bool = False,
+    provenance: Optional[Dict[str, object]] = None,
 ) -> List[Path]:
     """Write the report transcript and CSVs; returns the created paths.
 
     With ``svg=True``, experiments carrying reliability curves or
     performance grids additionally get a chart rendered by
     :mod:`repro.analysis.svgplot`.
+
+    ``provenance`` (when given) is written alongside the data as
+    ``{exp_id}_provenance.json`` -- how the numbers were produced:
+    code version, seed, scale, and the fault-tolerance outcome of each
+    underlying run (completeness, retries, quarantined shards), so a
+    partial ``--keep-going`` artifact can never masquerade as a
+    complete one.
     """
     outdir = Path(directory)
     outdir.mkdir(parents=True, exist_ok=True)
@@ -42,6 +51,13 @@ def export_report(
 
     if svg:
         written.extend(_export_svg(report, outdir))
+
+    if provenance is not None:
+        prov_path = outdir / f"{report.experiment_id}_provenance.json"
+        prov_path.write_text(
+            json.dumps(provenance, indent=2, sort_keys=True) + "\n"
+        )
+        written.append(prov_path)
     return written
 
 

@@ -20,11 +20,31 @@ and ``--shard-size N`` for sharded parallel execution (results are
 bit-identical for any worker count; see docs/performance.md).  Long
 ``reliability``/``campaign``/``perf`` runs show a live progress line on
 stderr when it is a terminal.
+
+The long-running sub-commands (``experiment``, ``reliability``,
+``all``, ``campaign``) also take the fault-tolerance flags
+``--checkpoint DIR``, ``--resume DIR``, ``--shard-timeout S``,
+``--max-retries N``, ``--keep-going`` and the developer flag
+``--chaos SPEC`` (see docs/robustness.md).
+
+Exit codes (stable contract, asserted by the test suite):
+
+* ``0``  -- success.
+* ``1``  -- the command ran but the result is bad (campaign saw SDC).
+* ``2``  -- usage error: bad flags, unknown experiment, resuming
+  against a checkpoint of a different run.
+* ``3``  -- partial completion: ``--keep-going`` quarantined shards;
+  results were reported with an explicit completeness fraction.
+* ``4``  -- a shard failed permanently without ``--keep-going``;
+  completed shards are checkpointed and the run is resumable.
+* ``130`` -- interrupted by SIGINT/SIGTERM after draining and writing
+  a final checkpoint; the resume command is printed.
 """
 
 from __future__ import annotations
 
 import argparse
+import shlex
 import sys
 from typing import List, Optional, Sequence
 
@@ -32,6 +52,14 @@ from repro.version import __version__
 
 #: Accepted values for the global ``--log-level`` flag.
 LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: Stable exit codes (see the module docstring / docs/robustness.md).
+EXIT_OK = 0
+EXIT_BAD_RESULT = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+EXIT_SHARD_FAILURE = 4
+EXIT_INTERRUPTED = 130
 
 
 def _worker_count(value: str) -> int:
@@ -90,6 +118,112 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
              "changing it changes the RNG shard plan)",
     )
 
+def _timeout_seconds(value: str) -> float:
+    """argparse type for ``--shard-timeout``: a float > 0 (seconds)."""
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {value!r}")
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("shard timeout must be > 0 seconds")
+    return seconds
+
+
+def _retry_count(value: str) -> int:
+    """argparse type for ``--max-retries``: an integer >= 0."""
+    try:
+        retries = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if retries < 0:
+        raise argparse.ArgumentTypeError("max retries must be >= 0")
+    return retries
+
+
+def _chaos_spec(value: str):
+    """argparse type for ``--chaos``: parse the injection spec."""
+    from repro.runtime import ChaosSpecError, parse_chaos_spec
+
+    try:
+        return parse_chaos_spec(value)
+    except ChaosSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the fault-tolerance flags shared by long-running
+    sub-commands (see docs/robustness.md for the full semantics)."""
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="persist per-shard results into this directory so an "
+             "interrupted run can be resumed",
+    )
+    group.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume from checkpoints in this directory (fingerprint-"
+             "validated; only missing shards re-run); new progress "
+             "keeps checkpointing there",
+    )
+    group.add_argument(
+        "--shard-timeout", type=_timeout_seconds, default=None, metavar="S",
+        help="kill and retry any shard still running after S seconds",
+    )
+    group.add_argument(
+        "--max-retries", type=_retry_count, default=None, metavar="N",
+        help="retries per shard (with exponential backoff) before the "
+             "shard counts as permanently failed (default 3)",
+    )
+    group.add_argument(
+        "--keep-going", action="store_true", default=False,
+        help="quarantine permanently-failing shards and finish with "
+             "partial results (exit code 3) instead of aborting",
+    )
+    group.add_argument(
+        "--chaos", type=_chaos_spec, default=None, metavar="SPEC",
+        help="developer flag: deterministically inject worker failures, "
+             "e.g. 'crash=1;hang=2;attempts=1' (see docs/robustness.md)",
+    )
+
+
+def _build_runtime_policy(args: argparse.Namespace):
+    """Translate parsed runtime flags into a RuntimePolicy (or None).
+
+    Returns ``None`` when no fault-tolerance flag was used (or the
+    sub-command has none), which keeps the engines on their legacy fast
+    path -- the hardened executor is strictly opt-in.
+    """
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    shard_timeout = getattr(args, "shard_timeout", None)
+    max_retries = getattr(args, "max_retries", None)
+    keep_going = getattr(args, "keep_going", False)
+    chaos = getattr(args, "chaos", None)
+    if not any(
+        (checkpoint, resume, shard_timeout is not None,
+         max_retries is not None, keep_going, chaos)
+    ):
+        return None
+    from repro.runtime import RuntimePolicy
+
+    return RuntimePolicy(
+        checkpoint_dir=checkpoint,
+        resume_dir=resume,
+        shard_timeout_s=shard_timeout,
+        max_retries=3 if max_retries is None else max_retries,
+        keep_going=keep_going,
+        chaos=chaos,
+    )
+
+
+def _resume_command(argv: Sequence[str], directory: str) -> str:
+    """The exact CLI invocation that resumes an interrupted run."""
+    parts = list(argv)
+    if "--resume" not in parts:
+        parts += ["--resume", directory]
+    return "repro " + " ".join(shlex.quote(p) for p in parts)
+
+
 #: Monte-Carlo scheme registry for the reliability sub-command.
 RELIABILITY_SCHEMES = {
     "non_ecc": "NonEccScheme",
@@ -146,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
     exp.add_argument("--seed", type=int, default=2016)
     _add_ecc_backend_flag(exp)
+    _add_runtime_flags(exp)
 
     rel = add_parser("reliability", help="Monte-Carlo scheme comparison")
     rel.add_argument(
@@ -159,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--seed", type=int, default=2016)
     _add_ecc_backend_flag(rel)
     _add_parallel_flags(rel)
+    _add_runtime_flags(rel)
 
     perf = add_parser("perf", help="performance/power grid")
     perf.add_argument("--workloads", nargs="+", default=["libquantum", "mcf"])
@@ -187,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd.add_argument("--svg", action="store_true",
                          help="also render SVG charts where applicable")
     _add_ecc_backend_flag(all_cmd)
+    _add_runtime_flags(all_cmd)
 
     exp_out = add_parser(
         "export", help="regenerate an experiment and write text + CSVs"
@@ -198,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_out.add_argument("--svg", action="store_true",
                          help="also render an SVG chart where applicable")
     _add_ecc_backend_flag(exp_out)
+    _add_runtime_flags(exp_out)
 
     camp = add_parser("campaign", help="behavioural fault campaign")
     camp.add_argument("--kind", choices=("xed", "chipkill"), default="xed")
@@ -207,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--scaling-rate", type=float, default=0.0)
     camp.add_argument("--seed", type=int, default=2016)
     _add_parallel_flags(camp)
+    _add_runtime_flags(camp)
 
     return parser
 
@@ -304,6 +443,32 @@ def _cmd_collision(args: argparse.Namespace) -> int:
     return 0
 
 
+def _provenance(args: argparse.Namespace) -> dict:
+    """Provenance block written next to exported artifacts.
+
+    Records how the numbers were produced -- code version, seed, scale,
+    backend -- plus, when a fault-tolerance policy is active, the
+    outcome of every underlying run (completeness, retries, resumed and
+    quarantined shards), so partial ``--keep-going`` artifacts are
+    self-describing.
+    """
+    from repro.runtime import current_policy
+
+    policy = current_policy()
+    prov: dict = {
+        "code_version": __version__,
+        "seed": getattr(args, "seed", None),
+        "scale": getattr(args, "scale", None),
+        "ecc_backend": getattr(args, "ecc_backend", None),
+        "complete": True,
+        "runs": [],
+    }
+    if policy is not None:
+        prov["complete"] = policy.quarantined_total == 0
+        prov["runs"] = [outcome.to_dict() for outcome in policy.outcomes]
+    return prov
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     from repro.analysis import reproduce_all
     from repro.analysis.export import export_report
@@ -311,14 +476,18 @@ def _cmd_all(args: argparse.Namespace) -> int:
     reports = reproduce_all(
         scale=args.scale, seed=args.seed, ecc_backend=args.ecc_backend
     )
+    # reproduce_all has finished every run by now, so one provenance
+    # block describes them all.
+    provenance = _provenance(args) if args.out else None
     for report in reports.values():
         print(report.text)
         print()
         if args.out:
-            export_report(report, args.out, svg=args.svg)
+            export_report(report, args.out, svg=args.svg,
+                          provenance=provenance)
     if args.out:
         print(f"exported {len(reports)} experiments to {args.out}/")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -330,10 +499,11 @@ def _cmd_export(args: argparse.Namespace) -> int:
                                 seed=args.seed, ecc_backend=args.ecc_backend)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
-        return 2
-    for path in export_report(report, args.out, svg=args.svg):
+        return EXIT_USAGE
+    for path in export_report(report, args.out, svg=args.svg,
+                              provenance=_provenance(args)):
         print(path)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -354,7 +524,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers, shard_size=args.shard_size,
         )
     print(result.format_summary())
-    return 0 if result.sdc_count == 0 else 1
+    return EXIT_OK if result.sdc_count == 0 else EXIT_BAD_RESULT
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -378,15 +548,28 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Run the ``repro`` CLI; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """Run the ``repro`` CLI; returns the process exit code.
+
+    See the module docstring for the exit-code contract.  A run
+    interrupted by SIGINT/SIGTERM drains in-flight shards, flushes a
+    final checkpoint, prints the exact resume command and exits 130.
+    """
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(raw_argv)
     # SUPPRESS defaults leave the attributes unset when flags are absent.
     args.log_level = getattr(args, "log_level", None)
     args.metrics_out = getattr(args, "metrics_out", None)
     args.trace_out = getattr(args, "trace_out", None)
 
     from repro.obs import OBS, configure, get_logger
+    from repro.runtime import (
+        CheckpointError,
+        RunInterrupted,
+        ShardFailure,
+        use_policy,
+    )
 
+    policy = _build_runtime_policy(args)
     enabled = configure(
         log_level=args.log_level,
         metrics=args.metrics_out is not None,
@@ -396,7 +579,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         progress=True,
     )
     try:
-        code = _dispatch(args)
+        with use_policy(policy):
+            code = _dispatch(args)
+        if policy is not None and policy.quarantined_total and code == EXIT_OK:
+            quarantined = policy.quarantined_total
+            completeness = policy.worst_completeness
+            print(
+                f"repro: partial completion: {quarantined} shard(s) "
+                f"quarantined by --keep-going; worst-run completeness "
+                f"{completeness:.1%}",
+                file=sys.stderr,
+            )
+            code = EXIT_PARTIAL
+    except RunInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        if policy is not None and policy.storage_dir:
+            print(
+                "repro: progress checkpointed; resume with:\n  "
+                + _resume_command(raw_argv, policy.storage_dir),
+                file=sys.stderr,
+            )
+        code = EXIT_INTERRUPTED
+    except ShardFailure as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        if policy is not None and policy.storage_dir:
+            print(
+                "repro: completed shards are checkpointed; after fixing "
+                "the cause, resume with:\n  "
+                + _resume_command(raw_argv, policy.storage_dir),
+                file=sys.stderr,
+            )
+        print(
+            "repro: use --keep-going to finish with partial results "
+            "instead of aborting",
+            file=sys.stderr,
+        )
+        code = EXIT_SHARD_FAILURE
+    except CheckpointError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        code = EXIT_USAGE
     finally:
         if enabled:
             for path, write in (

@@ -25,6 +25,9 @@ from repro.dram.dimm import ChipkillRank, XedDimm
 from repro.faultsim.parallel import plan_shards, resolve_shard_size, run_sharded
 from repro.obs import OBS, events, get_logger, span
 from repro.obs.progress import progress
+from repro.runtime.checkpoint import RunFingerprint, config_digest
+from repro.runtime.executor import RuntimePolicy, current_policy, run_resilient
+from repro.version import __version__
 
 log = get_logger("faultsim.campaign")
 
@@ -57,6 +60,29 @@ class Scenario:
     permanent: bool
     outcome: Outcome
     status: str
+
+    def to_payload(self) -> Dict[str, object]:
+        """Serialise for a checkpoint record (enums to their values)."""
+        return {
+            "granularities": [g.value for g in self.granularities],
+            "chips": list(self.chips),
+            "permanent": self.permanent,
+            "outcome": self.outcome.value,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Scenario":
+        """Rebuild a scenario from its checkpoint payload."""
+        return cls(
+            granularities=[
+                FaultGranularity(g) for g in payload["granularities"]
+            ],
+            chips=[int(c) for c in payload["chips"]],
+            permanent=bool(payload["permanent"]),
+            outcome=Outcome(payload["outcome"]),
+            status=str(payload["status"]),
+        )
 
 
 @dataclass
@@ -151,6 +177,18 @@ class CampaignResult:
                 merged._counts[outcome] += count
             merged._counted += shard._counted
         return merged
+
+    def to_payload(self) -> Dict[str, object]:
+        """Serialise a (shard) result for a checkpoint record."""
+        return {"scenarios": [s.to_payload() for s in self.scenarios]}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CampaignResult":
+        """Rebuild a shard result from its checkpoint payload."""
+        result = cls()
+        for scenario in payload["scenarios"]:
+            result.append(Scenario.from_payload(scenario))
+        return result
 
     def format_summary(self, by_granularity: bool = True) -> str:
         """Headline counts plus (optionally) the per-granularity table."""
@@ -266,6 +304,49 @@ def _xed_shard(
     return result
 
 
+def _run_campaign_shards(
+    kind: str,
+    shard_fn: Callable[..., CampaignResult],
+    shard_args: List[tuple],
+    shards: List[tuple],
+    trials: int,
+    workers: int,
+    fingerprint: RunFingerprint,
+    runtime: Optional[RuntimePolicy],
+) -> List[CampaignResult]:
+    """Dispatch campaign shards via the plain or resilient executor.
+
+    Shared tail of both campaign runners: with a runtime policy
+    (explicit or ambient) shards go through
+    :func:`repro.runtime.run_resilient` and gain checkpoint/resume,
+    retry and signal handling; otherwise the legacy
+    :func:`run_sharded` path runs unchanged.
+    """
+    policy = runtime if runtime is not None else current_policy()
+    reporter = progress(trials, f"campaign {kind}")
+    try:
+        if policy is not None:
+            results, _outcome = run_resilient(
+                shard_fn,
+                shard_args,
+                workers=workers,
+                fingerprint=fingerprint,
+                policy=policy,
+                encode=lambda r: r.to_payload(),
+                decode=CampaignResult.from_payload,
+                on_shard_done=lambda i: reporter.update(shards[i][1]),
+            )
+            return results
+        return run_sharded(
+            shard_fn,
+            shard_args,
+            workers=workers,
+            on_shard_done=lambda i: reporter.update(shards[i][1]),
+        )
+    finally:
+        reporter.close()
+
+
 def run_xed_campaign(
     trials: int = 50,
     faulty_chips: int = 1,
@@ -275,6 +356,7 @@ def run_xed_campaign(
     lines_per_trial: int = 4,
     workers: int = 1,
     shard_size: Optional[int] = None,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> CampaignResult:
     """Randomized campaign against the 9-chip XED controller.
 
@@ -286,24 +368,43 @@ def run_xed_campaign(
 
     Trials are dispatched in shards of ``shard_size`` to ``workers``
     processes; every trial is keyed by its global index, so the merged
-    result is identical for any worker count or shard size.
+    result is identical for any worker count or shard size.  A
+    ``runtime`` policy (or the ambient one) adds checkpoint/resume and
+    retry semantics -- see :mod:`repro.runtime`.
     """
     shard_size = resolve_shard_size(trials, shard_size, DEFAULT_TRIAL_SHARD_SIZE)
     shards = plan_shards(trials, shard_size)
+    fingerprint = RunFingerprint(
+        kind="campaign.xed",
+        seed=seed,
+        total=trials,
+        shard_size=shard_size,
+        config_hash=config_digest(
+            {
+                "faulty_chips": faulty_chips,
+                "scaling_ber": scaling_ber,
+                "granularities": [g.value for g in granularities],
+                "lines_per_trial": lines_per_trial,
+            }
+        ),
+        code_version=__version__,
+    )
     started = perf_counter()
-    reporter = progress(trials, "campaign xed")
     with span("campaign.xed_s"):
-        shard_results = run_sharded(
+        shard_results = _run_campaign_shards(
+            "xed",
             _xed_shard,
             [
                 (start, count, faulty_chips, seed, scaling_ber,
                  tuple(granularities), lines_per_trial)
                 for start, count in shards
             ],
-            workers=workers,
-            on_shard_done=lambda i: reporter.update(shards[i][1]),
+            shards,
+            trials,
+            workers,
+            fingerprint,
+            runtime,
         )
-    reporter.close()
     result = CampaignResult.merge(shard_results)
     _observe_campaign("xed", trials, result, perf_counter() - started)
     return result
@@ -373,28 +474,45 @@ def run_chipkill_campaign(
     granularities: Sequence[FaultGranularity] = DEFAULT_GRANULARITIES,
     workers: int = 1,
     shard_size: Optional[int] = None,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> CampaignResult:
     """Campaign against the Section-IX XED+Chipkill controller.
 
     With ``faulty_chips=2`` the erasure decoding must recover every
-    scenario -- the Double-Chipkill-level claim.  Sharding and
-    parallelism behave exactly as in :func:`run_xed_campaign`.
+    scenario -- the Double-Chipkill-level claim.  Sharding, parallelism
+    and the optional ``runtime`` policy behave exactly as in
+    :func:`run_xed_campaign`.
     """
     shard_size = resolve_shard_size(trials, shard_size, DEFAULT_TRIAL_SHARD_SIZE)
     shards = plan_shards(trials, shard_size)
+    fingerprint = RunFingerprint(
+        kind="campaign.chipkill",
+        seed=seed,
+        total=trials,
+        shard_size=shard_size,
+        config_hash=config_digest(
+            {
+                "faulty_chips": faulty_chips,
+                "granularities": [g.value for g in granularities],
+            }
+        ),
+        code_version=__version__,
+    )
     started = perf_counter()
-    reporter = progress(trials, "campaign chipkill")
     with span("campaign.chipkill_s"):
-        shard_results = run_sharded(
+        shard_results = _run_campaign_shards(
+            "chipkill",
             _chipkill_shard,
             [
                 (start, count, faulty_chips, seed, tuple(granularities))
                 for start, count in shards
             ],
-            workers=workers,
-            on_shard_done=lambda i: reporter.update(shards[i][1]),
+            shards,
+            trials,
+            workers,
+            fingerprint,
+            runtime,
         )
-    reporter.close()
     result = CampaignResult.merge(shard_results)
     _observe_campaign("chipkill", trials, result, perf_counter() - started)
     return result

@@ -37,10 +37,31 @@ from repro.obs import OBS
 __all__ = [
     "Shard",
     "plan_shards",
+    "pool_context",
     "resolve_shard_size",
     "validate_workers",
     "run_sharded",
 ]
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context used for every worker pool.
+
+    Workers always use the ``spawn`` start method: a spawned worker is
+    a fresh interpreter, so its :data:`repro.obs.OBS` reset/merge
+    semantics (and everything else about shard execution) are identical
+    on Linux, macOS and Windows, instead of silently depending on the
+    platform's default (``fork`` forks the parent's live OBS state).
+    Determinism of *results* never depended on the start method -- all
+    shard randomness is derived from the plan -- but telemetry and
+    crash behaviour did.  Should an exotic platform lack ``spawn``
+    (CPython provides it everywhere; this is belt-and-braces), the
+    platform default context is the documented fallback.
+    """
+    try:
+        return multiprocessing.get_context("spawn")
+    except ValueError:  # pragma: no cover - spawn exists on all tier-1 OSes
+        return multiprocessing.get_context()
 
 #: A shard is a half-open range of global indices: (start, count).
 Shard = Tuple[int, int]
@@ -134,22 +155,27 @@ def run_sharded(
     processes = min(workers, len(payloads))
     metric_states: List[Dict] = []
     trace_records: List[List[Dict]] = []
-    with multiprocessing.Pool(processes=processes) as pool:
-        for i, (result, metrics, records) in enumerate(
-            pool.imap(_run_worker_payload, payloads)
-        ):
-            results.append(result)
-            if metrics is not None:
-                metric_states.append(metrics)
-            if records:
-                trace_records.append(records)
-            if on_shard_done is not None:
-                on_shard_done(i)
-    # Fold worker telemetry into the parent *after* the pool drains so
-    # a mid-run failure cannot leave half a shard's metrics behind.
-    if OBS.enabled:
-        for state in metric_states:
-            OBS.registry.merge_state(state)
-        for records in trace_records:
-            OBS.trace.merge_records(records)
+    try:
+        with pool_context().Pool(processes=processes) as pool:
+            for i, (result, metrics, records) in enumerate(
+                pool.imap(_run_worker_payload, payloads)
+            ):
+                results.append(result)
+                if metrics is not None:
+                    metric_states.append(metrics)
+                if records:
+                    trace_records.append(records)
+                if on_shard_done is not None:
+                    on_shard_done(i)
+    finally:
+        # Fold worker telemetry in a ``finally`` so a shard that raises
+        # mid-run does not throw away the metrics/trace of every shard
+        # that already completed -- a failed campaign still reports what
+        # it did.  Only whole-shard deltas are ever folded, so a partial
+        # fold cannot contain half a shard's metrics.
+        if OBS.enabled:
+            for state in metric_states:
+                OBS.registry.merge_state(state)
+            for records in trace_records:
+                OBS.trace.merge_records(records)
     return results

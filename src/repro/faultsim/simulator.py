@@ -32,6 +32,9 @@ from repro.faultsim.parallel import plan_shards, resolve_shard_size, run_sharded
 from repro.faultsim.schemes import FailureKind, ProtectionScheme
 from repro.obs import OBS, events, get_logger
 from repro.obs.progress import progress
+from repro.runtime.checkpoint import RunFingerprint, config_digest
+from repro.runtime.executor import RuntimePolicy, current_policy, run_resilient
+from repro.version import __version__
 
 log = get_logger("faultsim.simulator")
 
@@ -181,6 +184,35 @@ class ReliabilityResult:
             f"DUE {self.due_count}, SDC {self.sdc_count})"
         )
 
+    def to_payload(self) -> Dict[str, object]:
+        """Serialise for a checkpoint record (exact JSON round-trip).
+
+        Failure times are floats; Python's JSON encoder emits their
+        ``repr`` (shortest round-tripping form), so
+        ``from_payload(to_payload())`` reproduces the result bit for
+        bit -- the property resume correctness rests on.
+        """
+        return {
+            "scheme_name": self.scheme_name,
+            "num_systems": self.num_systems,
+            "years": self.years,
+            "failure_times_hours": list(self.failure_times_hours),
+            "kinds": [k.value for k in self.kinds],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ReliabilityResult":
+        """Rebuild a shard result from its checkpoint payload."""
+        return cls(
+            scheme_name=str(payload["scheme_name"]),
+            num_systems=int(payload["num_systems"]),
+            years=float(payload["years"]),
+            failure_times_hours=[
+                float(t) for t in payload["failure_times_hours"]
+            ],
+            kinds=[FailureKind(k) for k in payload["kinds"]],
+        )
+
     @classmethod
     def merge(cls, shards: Sequence["ReliabilityResult"]) -> "ReliabilityResult":
         """Combine per-shard results into one population-level result.
@@ -274,12 +306,47 @@ def _simulate_shard(
     )
 
 
+def reliability_fingerprint(
+    scheme: ProtectionScheme, config: MonteCarloConfig, shard_size: int
+) -> RunFingerprint:
+    """Run-identity fingerprint of one reliability simulation.
+
+    Everything that can change a shard's contents goes into the config
+    hash -- the scheme, the FIT table, scaling, scrubbing, device
+    geometry and the codec backend -- so a checkpoint can never be
+    silently resumed into a different experiment.
+    """
+    description = {
+        "scheme": scheme.name,
+        "years": config.years,
+        "scaling_rate": config.scaling_rate,
+        "scrub_hours": config.scrub_hours,
+        "device_width": config.device_width,
+        "ecc_backend": config.ecc_backend,
+        "fit": [
+            [mode.value, rate.transient, rate.permanent]
+            for mode, rate in sorted(
+                config.fit.rates.items(), key=lambda kv: kv[0].value
+            )
+        ],
+    }
+    return RunFingerprint(
+        kind=f"reliability.{scheme.name}",
+        seed=config.seed,
+        total=config.num_systems,
+        shard_size=shard_size,
+        config_hash=config_digest(description),
+        code_version=__version__,
+    )
+
+
 def simulate(
     scheme: ProtectionScheme,
     config: Optional[MonteCarloConfig] = None,
     workers: int = 1,
     shard_size: Optional[int] = None,
     batch_systems: Optional[int] = None,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> ReliabilityResult:
     """Monte-Carlo simulate ``scheme`` under ``config``.
 
@@ -293,6 +360,13 @@ def simulate(
 
     ``batch_systems`` is the pre-sharding name of ``shard_size`` and is
     honoured as an alias when ``shard_size`` is not given.
+
+    ``runtime`` (or the ambient policy installed by
+    :func:`repro.runtime.use_policy`, e.g. by the CLI's
+    ``--checkpoint``/``--resume``/``--shard-timeout`` flags) routes
+    execution through the fault-tolerant executor: checkpointing,
+    resume, retry with backoff, timeouts and signal draining.  With no
+    policy the legacy fast path runs unchanged.
     """
     config = config or MonteCarloConfig()
     # Bind before shard fan-out so workers receive the bound scheme.
@@ -309,15 +383,32 @@ def simulate(
         for i, (start, count) in enumerate(shards)
     ]
 
+    policy = runtime if runtime is not None else current_policy()
     started = perf_counter()
     reporter = progress(config.num_systems, f"reliability {scheme.name}")
-    shard_results = run_sharded(
-        _simulate_shard,
-        shard_args,
-        workers=workers,
-        on_shard_done=lambda i: reporter.update(shards[i][1]),
-    )
-    reporter.close()
+    try:
+        if policy is not None:
+            shard_results, _outcome = run_resilient(
+                _simulate_shard,
+                shard_args,
+                workers=workers,
+                fingerprint=reliability_fingerprint(
+                    scheme, config, shard_size
+                ),
+                policy=policy,
+                encode=lambda r: r.to_payload(),
+                decode=ReliabilityResult.from_payload,
+                on_shard_done=lambda i: reporter.update(shards[i][1]),
+            )
+        else:
+            shard_results = run_sharded(
+                _simulate_shard,
+                shard_args,
+                workers=workers,
+                on_shard_done=lambda i: reporter.update(shards[i][1]),
+            )
+    finally:
+        reporter.close()
 
     result = (
         ReliabilityResult.merge(shard_results)

@@ -23,13 +23,17 @@ standard library), so every other layer may import it freely.
 
 from repro.obs.events import (
     CatchWordDetected,
+    CheckpointWritten,
     DiagnosisRun,
     ErasureReconstruction,
     EventTrace,
     ReadClassified,
     ReplayedEvent,
+    RunSignalled,
     ScrubPass,
     SerialRetry,
+    ShardQuarantined,
+    ShardRetried,
     TraceEvent,
     TrialCompleted,
     read_jsonl,
@@ -66,6 +70,10 @@ __all__ = [
     "ScrubPass",
     "TrialCompleted",
     "ReadClassified",
+    "ShardRetried",
+    "ShardQuarantined",
+    "CheckpointWritten",
+    "RunSignalled",
     "ReplayedEvent",
     "read_jsonl",
     "ProgressReporter",

@@ -33,6 +33,10 @@ __all__ = [
     "ScrubPass",
     "TrialCompleted",
     "ReadClassified",
+    "ShardRetried",
+    "ShardQuarantined",
+    "CheckpointWritten",
+    "RunSignalled",
     "ReplayedEvent",
     "EventTrace",
     "read_jsonl",
@@ -161,6 +165,59 @@ class ReadClassified(TraceEvent):
     granularities: List[str] = field(default_factory=list)
     chips: List[int] = field(default_factory=list)
     permanent: bool = True
+
+
+@dataclass
+class ShardRetried(TraceEvent):
+    """A shard attempt failed and was rescheduled with backoff.
+
+    ``reason`` is the executor's classification (``crash`` for an
+    abnormal worker exit, ``timeout`` for a deadline miss, ``fault``
+    for an ordinary exception inside the shard); ``attempt`` is how
+    many attempts have now failed and ``delay_s`` the backoff before
+    the next one.
+    """
+
+    kind = "shard_retried"
+
+    shard: int
+    attempt: int
+    reason: str
+    delay_s: float
+
+
+@dataclass
+class ShardQuarantined(TraceEvent):
+    """A shard exhausted its retries under ``--keep-going``.
+
+    Its result is permanently missing from the merged output; the run's
+    completeness fraction accounts for it.
+    """
+
+    kind = "shard_quarantined"
+
+    shard: int
+    attempts: int
+    reason: str
+
+
+@dataclass
+class CheckpointWritten(TraceEvent):
+    """A run checkpoint reached durable storage (final flush / resume)."""
+
+    kind = "checkpoint_written"
+
+    path: str
+    shards: int
+
+
+@dataclass
+class RunSignalled(TraceEvent):
+    """SIGINT/SIGTERM received: the run is draining toward a checkpoint."""
+
+    kind = "run_signalled"
+
+    signal_name: str
 
 
 class ReplayedEvent(TraceEvent):

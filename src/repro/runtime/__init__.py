@@ -1,0 +1,77 @@
+"""Fault-tolerant campaign runtime: checkpoint/resume, retry, chaos.
+
+The sharded engines in :mod:`repro.faultsim` are deterministic but
+fragile: one worker crash, hang, or ``kill`` loses hours of Monte-Carlo
+progress.  This package wraps them in a hardened execution layer --
+
+* :mod:`repro.runtime.checkpoint` -- durable, digest-verified,
+  atomically-replaced checkpoint files keyed by a run-identity
+  fingerprint, so an interrupted campaign resumes from exactly the
+  shards it finished.
+* :mod:`repro.runtime.executor` -- :func:`run_resilient`, the retrying,
+  timeout-enforcing, signal-draining executor, plus the ambient
+  :class:`RuntimePolicy` the CLI installs via :func:`use_policy`.
+* :mod:`repro.runtime.chaos` -- deterministic failure injection
+  (worker crashes, hangs, checkpoint corruption) used by the test suite
+  and the ``--chaos`` developer flag to prove every recovery path
+  yields bit-identical results.
+
+See ``docs/robustness.md`` for the checkpoint format, resume
+semantics, and the CLI's exit-code contract.
+"""
+
+from repro.runtime.chaos import (
+    CRASH_EXIT_CODE,
+    ChaosCrash,
+    ChaosFault,
+    ChaosHang,
+    ChaosPolicy,
+    ChaosSpecError,
+    corrupt_checkpoint_tail,
+    parse_chaos_spec,
+)
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    RunFingerprint,
+    ShardRecord,
+    config_digest,
+    load_checkpoint,
+)
+from repro.runtime.executor import (
+    RunInterrupted,
+    RunOutcome,
+    RuntimePolicy,
+    ShardFailure,
+    current_policy,
+    run_resilient,
+    use_policy,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CRASH_EXIT_CODE",
+    "ChaosCrash",
+    "ChaosFault",
+    "ChaosHang",
+    "ChaosPolicy",
+    "ChaosSpecError",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "RunFingerprint",
+    "RunInterrupted",
+    "RunOutcome",
+    "RuntimePolicy",
+    "ShardFailure",
+    "ShardRecord",
+    "config_digest",
+    "corrupt_checkpoint_tail",
+    "current_policy",
+    "load_checkpoint",
+    "parse_chaos_spec",
+    "run_resilient",
+    "use_policy",
+]

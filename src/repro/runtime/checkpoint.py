@@ -1,0 +1,347 @@
+"""Durable, self-validating checkpoints for sharded campaigns.
+
+A multi-hour Monte-Carlo or behavioural campaign must survive the
+process that runs it.  This module persists every completed shard --
+its result payload plus the shard's observability delta -- to a single
+JSON-lines checkpoint file that a later process can resume from and
+reproduce the merged result *bit for bit* (the shard plan and the
+per-shard seeds depend only on the run parameters, never on the
+execution history).
+
+File format (one JSON object per line)::
+
+    {"record": "header", "version": 1, "fingerprint": {...}, "digest": ...}
+    {"record": "shard", "index": 0, "payload": {...},
+     "metrics": {...}|null, "trace": [...]|null, "digest": "..."}
+    ...
+
+* **Run identity.**  The header carries a :class:`RunFingerprint`
+  (kind, seed, population, shard size, config hash, code version); a
+  resume against a checkpoint whose fingerprint differs in any field is
+  refused with :class:`CheckpointMismatch` -- silently merging shards
+  of a *different* experiment would be corruption, not recovery.
+* **Record integrity.**  Every line ends with a SHA-256 digest of its
+  canonical-JSON body.  :func:`load_checkpoint` stops at the first
+  truncated or corrupted record and discards only that tail; every
+  intact prefix record is still usable, so a crash mid-write (or a
+  chaos-injected corruption) costs at most the shards behind it.
+* **Atomicity.**  The file is always replaced via write-temp-then-
+  ``os.replace`` -- a reader never observes a half-written checkpoint,
+  even if the writer dies mid-flush.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "RunFingerprint",
+    "ShardRecord",
+    "CheckpointStore",
+    "config_digest",
+    "load_checkpoint",
+]
+
+#: On-disk format version; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unusable (unreadable header, bad version)."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """A resume was attempted against a different run's checkpoint."""
+
+
+def _canonical(obj: object) -> str:
+    """Canonical JSON text (sorted keys, no whitespace) for digesting."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(obj: object) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(_canonical(obj).encode("utf-8")).hexdigest()
+
+
+def config_digest(description: Dict[str, object]) -> str:
+    """Hash an experiment description dict into a fingerprint field.
+
+    Callers put every knob that affects shard *contents* into the
+    description (scheme name, FIT rates, scrub interval, backend ...);
+    two runs share a ``config_hash`` iff their shards are interchangeable.
+    """
+    return _digest(description)
+
+
+@dataclass(frozen=True)
+class RunFingerprint:
+    """Identity of one sharded run, embedded in its checkpoint header.
+
+    Two runs may exchange checkpoints only when every field matches:
+    ``kind`` names the engine and experiment (``reliability.<scheme>``,
+    ``campaign.xed``), ``seed``/``total``/``shard_size`` pin the
+    deterministic shard plan, ``config_hash`` covers every remaining
+    behaviour knob, and ``code_version`` guards against resuming across
+    releases whose shard semantics may have changed.
+    """
+
+    kind: str
+    seed: int
+    total: int
+    shard_size: int
+    config_hash: str
+    code_version: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """The fingerprint as a JSON-ready dict (header payload)."""
+        return asdict(self)
+
+    def slug(self) -> str:
+        """Filesystem-safe checkpoint file stem for this run.
+
+        Combines the human-readable kind with a config-hash prefix so
+        multiple runs (e.g. every scheme of ``repro reliability``) can
+        checkpoint into one directory without colliding.
+        """
+        safe = "".join(
+            ch if ch.isalnum() or ch in "._-" else "_" for ch in self.kind
+        )
+        return f"{safe}-{self.config_hash[:12]}"
+
+    def mismatches(self, other: Dict[str, object]) -> List[str]:
+        """Human-readable field diffs vs. a stored fingerprint dict."""
+        mine = self.to_dict()
+        return [
+            f"{field}: run={mine[field]!r} checkpoint={other.get(field)!r}"
+            for field in mine
+            if mine[field] != other.get(field)
+        ]
+
+
+@dataclass
+class ShardRecord:
+    """One completed shard as persisted in the checkpoint.
+
+    ``payload`` is the engine-specific serialised result
+    (:meth:`ReliabilityResult.to_payload` / ``CampaignResult``);
+    ``metrics`` and ``trace`` are the shard's observability delta
+    (:meth:`MetricsRegistry.state` / :meth:`EventTrace.to_records`) so a
+    resumed run can replay telemetry and end with the same metrics as
+    an uninterrupted one.
+    """
+
+    index: int
+    payload: Dict[str, object]
+    metrics: Optional[Dict[str, object]] = None
+    trace: Optional[List[Dict[str, object]]] = None
+
+    def to_line(self) -> str:
+        """Serialise to one digest-carrying checkpoint line."""
+        body = {
+            "record": "shard",
+            "index": self.index,
+            "payload": self.payload,
+            "metrics": self.metrics,
+            "trace": self.trace,
+        }
+        body["digest"] = _digest(
+            {k: v for k, v in body.items() if k != "digest"}
+        )
+        return _canonical(body)
+
+
+def _parse_shard_line(record: Dict[str, object]) -> Optional[ShardRecord]:
+    """Validate one parsed shard record; ``None`` if corrupt."""
+    if record.get("record") != "shard":
+        return None
+    digest = record.get("digest")
+    body = {k: v for k, v in record.items() if k != "digest"}
+    if digest != _digest(body):
+        return None
+    index = record.get("index")
+    payload = record.get("payload")
+    if not isinstance(index, int) or not isinstance(payload, dict):
+        return None
+    return ShardRecord(
+        index=index,
+        payload=payload,
+        metrics=record.get("metrics"),
+        trace=record.get("trace"),
+    )
+
+
+def load_checkpoint(
+    path: "str | os.PathLike[str]",
+) -> Tuple[Dict[str, object], Dict[int, ShardRecord], int]:
+    """Read a checkpoint: ``(fingerprint, records_by_index, discarded)``.
+
+    The header must be intact (digest-verified) or the whole file is
+    rejected with :class:`CheckpointError` -- without a trustworthy
+    fingerprint no shard can be attributed to a run.  Shard records are
+    then read in order until the first truncated/corrupted line; that
+    record and everything after it are discarded (the count is
+    returned) and the valid prefix is kept.  A shard index recorded
+    twice keeps its first occurrence.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not lines:
+        raise CheckpointError(f"checkpoint {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has an unreadable header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("record") != "header":
+        raise CheckpointError(f"checkpoint {path} has no header record")
+    digest = header.get("digest")
+    if digest != _digest({k: v for k, v in header.items() if k != "digest"}):
+        raise CheckpointError(f"checkpoint {path} header failed its digest")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {header.get('version')!r}; "
+            f"this code reads version {CHECKPOINT_VERSION}"
+        )
+    fingerprint = header.get("fingerprint")
+    if not isinstance(fingerprint, dict):
+        raise CheckpointError(f"checkpoint {path} header has no fingerprint")
+
+    records: Dict[int, ShardRecord] = {}
+    discarded = 0
+    for pos, line in enumerate(lines[1:]):
+        line = line.strip()
+        if not line:
+            continue
+        shard: Optional[ShardRecord]
+        try:
+            parsed = json.loads(line)
+            shard = (
+                _parse_shard_line(parsed) if isinstance(parsed, dict) else None
+            )
+        except ValueError:
+            shard = None
+        if shard is None:
+            # Corrupted/truncated record: everything from here on is an
+            # untrustworthy tail.  Count it and stop.
+            discarded = len([l for l in lines[1 + pos:] if l.strip()])
+            break
+        records.setdefault(shard.index, shard)
+    return fingerprint, records, discarded
+
+
+class CheckpointStore:
+    """Owns one checkpoint file for the duration of a run.
+
+    ``add()`` registers a completed shard and immediately flushes the
+    whole file atomically (write temp, ``os.replace``), so the on-disk
+    checkpoint is always a consistent prefix of the run.  Use
+    :meth:`CheckpointStore.create` for a fresh run and
+    :meth:`CheckpointStore.resume` to adopt (and keep extending) an
+    existing file.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        fingerprint: RunFingerprint,
+        records: Optional[Dict[int, ShardRecord]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.records: Dict[int, ShardRecord] = dict(records or {})
+        self.discarded = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: "str | os.PathLike[str]", fingerprint: RunFingerprint
+    ) -> "CheckpointStore":
+        """Start a fresh checkpoint (header flushed immediately).
+
+        Flushing the header up front means even a run interrupted
+        before its first shard leaves a valid, resumable file behind.
+        """
+        store = cls(path, fingerprint)
+        store.flush()
+        return store
+
+    @classmethod
+    def resume(
+        cls, path: "str | os.PathLike[str]", fingerprint: RunFingerprint
+    ) -> "CheckpointStore":
+        """Adopt an existing checkpoint after validating its identity.
+
+        Raises :class:`CheckpointMismatch` when any fingerprint field
+        differs, and :class:`CheckpointError` when the file itself is
+        unusable.  Corrupted tail records are dropped (``discarded``
+        records how many) -- the shards they covered simply re-run.
+        """
+        stored, records, discarded = load_checkpoint(path)
+        diffs = fingerprint.mismatches(stored)
+        if diffs:
+            raise CheckpointMismatch(
+                f"checkpoint {path} belongs to a different run: "
+                + "; ".join(diffs)
+            )
+        store = cls(path, fingerprint, records)
+        store.discarded = discarded
+        if discarded:
+            # Rewrite immediately so the corrupt tail is gone on disk.
+            store.flush()
+        return store
+
+    # -- persistence --------------------------------------------------------
+
+    @property
+    def completed(self) -> Dict[int, ShardRecord]:
+        """Shard records currently held (index -> record)."""
+        return self.records
+
+    def add(
+        self,
+        index: int,
+        payload: Dict[str, object],
+        metrics: Optional[Dict[str, object]] = None,
+        trace: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        """Record one completed shard and flush the file atomically."""
+        self.records[index] = ShardRecord(
+            index=index, payload=payload, metrics=metrics, trace=trace
+        )
+        self.flush()
+
+    def _header_line(self) -> str:
+        body = {
+            "record": "header",
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint.to_dict(),
+        }
+        body["digest"] = _digest(body)
+        return _canonical(body)
+
+    def flush(self) -> None:
+        """Write the full checkpoint via temp file + ``os.replace``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(
+            f".{self.path.name}.tmp.{os.getpid()}"
+        )
+        lines = [self._header_line()]
+        lines.extend(
+            self.records[i].to_line() for i in sorted(self.records)
+        )
+        tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)

@@ -1,8 +1,19 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import RELIABILITY_SCHEMES, build_parser, main
+from repro.cli import (
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_SHARD_FAILURE,
+    EXIT_USAGE,
+    RELIABILITY_SCHEMES,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -128,6 +139,126 @@ class TestParallelFlags:
         ])
         assert code == 0
         assert "scenarios" in capsys.readouterr().out
+
+
+#: One small reliability run, reused by the exit-code tests below.
+RELIABILITY_ARGS = [
+    "reliability", "--schemes", "xed",
+    "--systems", "20000", "--shard-size", "5000",
+]
+
+
+class TestExitCodes:
+    """The documented exit-code contract (docs/robustness.md)."""
+
+    def test_exit_code_values_are_the_documented_contract(self):
+        assert (EXIT_OK, EXIT_USAGE, EXIT_PARTIAL, EXIT_SHARD_FAILURE,
+                EXIT_INTERRUPTED) == (0, 2, 3, 4, 130)
+
+    def test_usage_error_is_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["reliability", "--shard-timeout", "-1"])
+        assert exc.value.code == EXIT_USAGE
+
+    def test_unknown_experiment_is_2(self):
+        assert main(["experiment", "fig99"]) == EXIT_USAGE
+
+    def test_bad_chaos_spec_is_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(RELIABILITY_ARGS + ["--chaos", "explode=everything"])
+        assert exc.value.code == EXIT_USAGE
+        assert "chaos" in capsys.readouterr().err
+
+    def test_fingerprint_mismatch_is_2(self, tmp_path, capsys):
+        assert main(
+            RELIABILITY_ARGS + ["--checkpoint", str(tmp_path)]
+        ) == EXIT_OK
+        capsys.readouterr()
+        code = main([
+            "reliability", "--schemes", "xed",
+            "--systems", "25000", "--shard-size", "5000",
+            "--resume", str(tmp_path),
+        ])
+        assert code == EXIT_USAGE
+        assert "different run" in capsys.readouterr().err
+
+    def test_shard_failure_is_4_and_prints_resume_command(
+        self, tmp_path, capsys
+    ):
+        code = main(RELIABILITY_ARGS + [
+            "--checkpoint", str(tmp_path),
+            "--chaos", "fault=1;attempts=99", "--max-retries", "1",
+        ])
+        assert code == EXIT_SHARD_FAILURE
+        err = capsys.readouterr().err
+        assert "--resume" in err and str(tmp_path) in err
+        assert "--keep-going" in err
+
+    def test_keep_going_partial_is_3_with_completeness(self, capsys):
+        code = main(RELIABILITY_ARGS + [
+            "--chaos", "fault=1;attempts=99", "--max-retries", "1",
+            "--keep-going",
+        ])
+        assert code == EXIT_PARTIAL
+        err = capsys.readouterr().err
+        assert "quarantined" in err and "completeness" in err
+
+    def test_recovered_run_exits_0(self, capsys):
+        code = main(RELIABILITY_ARGS + ["--chaos", "fault=1"])
+        assert code == EXIT_OK
+
+
+class TestRuntimeFlags:
+    def test_runtime_flags_on_long_running_commands(self):
+        for argv in (
+            ["experiment", "fig7", "--checkpoint", "ck"],
+            ["reliability", "--checkpoint", "ck"],
+            ["all", "--checkpoint", "ck"],
+            ["campaign", "--checkpoint", "ck"],
+        ):
+            assert build_parser().parse_args(argv).checkpoint == "ck"
+
+    def test_runtime_flags_default_to_legacy_path(self):
+        from repro.cli import _build_runtime_policy
+
+        args = build_parser().parse_args(["reliability"])
+        assert _build_runtime_policy(args) is None
+
+    def test_checkpoint_resume_output_identical(self, tmp_path, capsys):
+        assert main(RELIABILITY_ARGS) == EXIT_OK
+        plain_out = capsys.readouterr().out
+        assert main(
+            RELIABILITY_ARGS + ["--checkpoint", str(tmp_path)]
+        ) == EXIT_OK
+        checkpointed_out = capsys.readouterr().out
+        assert main(
+            RELIABILITY_ARGS + ["--resume", str(tmp_path)]
+        ) == EXIT_OK
+        resumed_out = capsys.readouterr().out
+        assert plain_out == checkpointed_out == resumed_out
+
+    def test_export_writes_provenance(self, tmp_path, capsys):
+        code = main([
+            "export", "table3", "--out", str(tmp_path / "results"),
+        ])
+        assert code == EXIT_OK
+        prov_path = tmp_path / "results" / "table3_provenance.json"
+        assert prov_path.exists()
+        prov = json.loads(prov_path.read_text())
+        assert prov["complete"] is True and prov["runs"] == []
+
+    def test_export_provenance_records_partial_runs(self, tmp_path, capsys):
+        code = main([
+            "export", "fig7", "--out", str(tmp_path / "results"),
+            "--chaos", "fault=0;attempts=99", "--max-retries", "0",
+            "--keep-going",
+        ])
+        assert code == EXIT_PARTIAL
+        prov = json.loads(
+            (tmp_path / "results" / "fig7_provenance.json").read_text()
+        )
+        assert prov["complete"] is False
+        assert any(run["quarantined_shards"] for run in prov["runs"])
 
 
 class TestEccBackendFlag:
