@@ -41,9 +41,9 @@ from repro.perfsim.runner import (
 from repro.perfsim.workloads import SUITES, WORKLOADS, suite_workloads
 
 QUICK_SYSTEMS = 150_000
-FULL_SYSTEMS = 1_000_000
+FULL_SYSTEMS = 4_000_000
 QUICK_SYSTEMS_TRIPLE = 400_000
-FULL_SYSTEMS_TRIPLE = 4_000_000
+FULL_SYSTEMS_TRIPLE = 16_000_000
 
 QUICK_WORKLOADS = [
     w for w in WORKLOADS
@@ -176,6 +176,7 @@ def _reliability_config(
     scaling_rate: float = 0.0,
     triple: bool = False,
     ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> MonteCarloConfig:
     if triple:
         n = QUICK_SYSTEMS_TRIPLE if scale == "quick" else FULL_SYSTEMS_TRIPLE
@@ -186,13 +187,20 @@ def _reliability_config(
         seed=seed,
         scaling_rate=scaling_rate,
         ecc_backend=ecc_backend,
+        faultsim_backend=faultsim_backend,
     )
 
 
 def _run_fig1(
-    scale: str = "quick", seed: int = 2016, ecc_backend: str = "scalar"
+    scale: str = "quick",
+    seed: int = 2016,
+    ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> ExperimentReport:
-    cfg = _reliability_config(scale, seed, ecc_backend=ecc_backend)
+    cfg = _reliability_config(
+        scale, seed, ecc_backend=ecc_backend,
+        faultsim_backend=faultsim_backend,
+    )
     schemes = [NonEccScheme(), EccDimmScheme(), ChipkillScheme()]
     results = [simulate(s, cfg) for s in schemes]
     ecc, chipkill = results[1], results[2]
@@ -255,8 +263,12 @@ def _run_fig7(
     seed: int = 2016,
     scaling_rate: float = 0.0,
     ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> ExperimentReport:
-    cfg = _reliability_config(scale, seed, scaling_rate, ecc_backend=ecc_backend)
+    cfg = _reliability_config(
+        scale, seed, scaling_rate, ecc_backend=ecc_backend,
+        faultsim_backend=faultsim_backend,
+    )
     schemes = [EccDimmScheme(), XedScheme(), ChipkillScheme()]
     results = [simulate(s, cfg) for s in schemes]
     ecc, xed, chipkill = results
@@ -283,9 +295,15 @@ def _run_fig7(
 
 
 def _run_fig8(
-    scale: str = "quick", seed: int = 2016, ecc_backend: str = "scalar"
+    scale: str = "quick",
+    seed: int = 2016,
+    ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> ExperimentReport:
-    return _run_fig7(scale, seed, scaling_rate=1e-4, ecc_backend=ecc_backend)
+    return _run_fig7(
+        scale, seed, scaling_rate=1e-4, ecc_backend=ecc_backend,
+        faultsim_backend=faultsim_backend,
+    )
 
 
 def _run_fig9(
@@ -293,9 +311,11 @@ def _run_fig9(
     seed: int = 2016,
     scaling_rate: float = 0.0,
     ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> ExperimentReport:
     cfg = _reliability_config(
-        scale, seed, scaling_rate, triple=True, ecc_backend=ecc_backend
+        scale, seed, scaling_rate, triple=True, ecc_backend=ecc_backend,
+        faultsim_backend=faultsim_backend,
     )
     schemes = [ChipkillScheme(), DoubleChipkillScheme(), XedChipkillScheme()]
     results = [simulate(s, cfg) for s in schemes]
@@ -324,9 +344,15 @@ def _run_fig9(
 
 
 def _run_fig10(
-    scale: str = "quick", seed: int = 2016, ecc_backend: str = "scalar"
+    scale: str = "quick",
+    seed: int = 2016,
+    ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> ExperimentReport:
-    return _run_fig9(scale, seed, scaling_rate=1e-4, ecc_backend=ecc_backend)
+    return _run_fig9(
+        scale, seed, scaling_rate=1e-4, ecc_backend=ecc_backend,
+        faultsim_backend=faultsim_backend,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -507,13 +533,18 @@ def run_experiment(
     scale: str = "quick",
     seed: int = 2016,
     ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> ExperimentReport:
     """Regenerate one of the paper's tables/figures by id.
 
     ``ecc_backend`` selects the codec backend for experiments that
     evaluate ECC codes (Table II's detection sweep, and the reliability
     figures whose ECC-DIMM DUE/SDC split is measured from the decoder);
-    experiments with no codec involvement ignore it.
+    ``faultsim_backend`` selects the Monte-Carlo adjudication backend
+    for the reliability figures (both backends are bit-identical, so
+    this only changes the runtime; vectorized is the default and is
+    what makes the full-scale populations affordable).  Experiments
+    with no such involvement ignore the respective knob.
     """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
@@ -523,12 +554,17 @@ def run_experiment(
     if scale not in ("quick", "full"):
         raise ValueError("scale must be 'quick' or 'full'")
     from repro.ecc.batched import validate_backend
+    from repro.faultsim.vectorized import validate_faultsim_backend
 
     validate_backend(ecc_backend)
+    validate_faultsim_backend(faultsim_backend)
     runner = EXPERIMENTS[experiment_id].runner
     kwargs = {"scale": scale, "seed": seed}
-    if "ecc_backend" in inspect.signature(runner).parameters:
+    parameters = inspect.signature(runner).parameters
+    if "ecc_backend" in parameters:
         kwargs["ecc_backend"] = ecc_backend
+    if "faultsim_backend" in parameters:
+        kwargs["faultsim_backend"] = faultsim_backend
     return runner(**kwargs)
 
 
@@ -537,6 +573,7 @@ def reproduce_all(
     seed: int = 2016,
     experiment_ids: Optional[List[str]] = None,
     ecc_backend: str = "scalar",
+    faultsim_backend: str = "vectorized",
 ) -> Dict[str, ExperimentReport]:
     """Regenerate every table and figure (or a chosen subset), in the
     paper's order.  The whole-evaluation equivalent of the benchmark
@@ -548,6 +585,9 @@ def reproduce_all(
     ]
     ids = experiment_ids if experiment_ids is not None else order
     return {
-        exp_id: run_experiment(exp_id, scale, seed, ecc_backend=ecc_backend)
+        exp_id: run_experiment(
+            exp_id, scale, seed,
+            ecc_backend=ecc_backend, faultsim_backend=faultsim_backend,
+        )
         for exp_id in ids
     }

@@ -15,6 +15,10 @@ methodology:
 * :mod:`repro.faultsim.schemes` -- per-scheme evaluators: Non-ECC,
   ECC-DIMM SECDED, XED, Chipkill, Double-Chipkill, XED+Chipkill.
 * :mod:`repro.faultsim.simulator` -- the vectorised Monte-Carlo driver.
+* :mod:`repro.faultsim.vectorized` -- struct-of-arrays shards and batch
+  adjudication kernels (``faultsim_backend="vectorized"``).
+* :mod:`repro.faultsim.differential` -- scalar-vs-vectorized replay
+  harness proving the backends bit-identical.
 * :mod:`repro.faultsim.parallel` -- deterministic sharding and the
   multiprocessing pool behind ``simulate(..., workers=N)``.
 * :mod:`repro.faultsim.analytical` -- closed-form models behind Figure 6
@@ -46,9 +50,18 @@ from repro.faultsim.simulator import (
     simulate,
     simulate_many,
 )
+from repro.faultsim.vectorized import (
+    FAULTSIM_BACKENDS,
+    FaultShard,
+    ShardAdjudication,
+    adjudicate_shard,
+    validate_faultsim_backend,
+)
 from repro.faultsim import analytical
 from repro.faultsim import campaign
+from repro.faultsim import differential
 from repro.faultsim import parallel
+from repro.faultsim import vectorized
 
 __all__ = [
     "DRAM_FIT_RATES",
@@ -70,9 +83,16 @@ __all__ = [
     "MonteCarloConfig",
     "ReliabilityResult",
     "DEFAULT_SHARD_SIZE",
+    "FAULTSIM_BACKENDS",
+    "FaultShard",
+    "ShardAdjudication",
+    "adjudicate_shard",
+    "validate_faultsim_backend",
     "simulate",
     "simulate_many",
     "analytical",
     "campaign",
+    "differential",
     "parallel",
+    "vectorized",
 ]

@@ -1,0 +1,219 @@
+"""Differential verification of the Monte-Carlo adjudication backends.
+
+The scalar path (``ChipFault`` lists walked through
+``ProtectionScheme.evaluate``) is the golden model; the vectorized
+kernels of :mod:`repro.faultsim.vectorized` are an optimisation that
+must never change a result.  This module replays identical sampled
+shards -- or whole sharded simulations -- through both backends and
+raises :class:`DifferentialMismatch` on any divergence in failure
+counts, kinds or times, down to exact float equality of the checkpoint
+payload JSON.  It mirrors :mod:`repro.ecc.differential`, the same
+harness pattern for the ECC codec backends.
+
+Used three ways:
+
+* ``tests/unit/test_faultsim_differential.py`` sweeps all six schemes
+  (and both worker counts) through :func:`replay_simulation`;
+* the golden-corpus test replays recorded (seed, config) digests
+  through both backends;
+* ad-hoc verification of a configuration before a long run (see the
+  cookbook's cross-backend recipe).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.faultsim.schemes import ProtectionScheme
+from repro.faultsim.simulator import (
+    MonteCarloConfig,
+    ReliabilityResult,
+    _simulate_shard,
+    simulate,
+)
+from repro.obs import OBS
+
+
+class DifferentialMismatch(AssertionError):
+    """The two adjudication backends disagreed on a replayed result."""
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Summary of one successful scalar-vs-vectorized replay."""
+
+    scheme_name: str
+    num_systems: int
+    failures: int
+    due: int
+    sdc: int
+    workers: int = 1
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scheme_name}: {self.num_systems} systems, "
+            f"{self.failures} failures (DUE {self.due}, SDC {self.sdc}) "
+            f"bit-identical across backends ({self.workers} worker(s))"
+        )
+
+
+def _canonical_payload(result: ReliabilityResult) -> str:
+    """The result's checkpoint payload as canonical JSON text."""
+    return json.dumps(result.to_payload(), sort_keys=True)
+
+
+def assert_identical(
+    scalar: ReliabilityResult,
+    vectorized: ReliabilityResult,
+    context: str,
+) -> None:
+    """Raise :class:`DifferentialMismatch` unless the results match.
+
+    Checks structured equality field by field (population, failure
+    count, per-failure kind and exact failure-time floats) before
+    comparing the serialised checkpoint payloads, so a divergence is
+    reported as the first differing field rather than a JSON diff.
+    """
+    if scalar.num_systems != vectorized.num_systems:
+        raise DifferentialMismatch(
+            f"{context}: population mismatch "
+            f"{scalar.num_systems} != {vectorized.num_systems}"
+        )
+    if scalar.failures != vectorized.failures:
+        raise DifferentialMismatch(
+            f"{context}: failure count mismatch "
+            f"{scalar.failures} != {vectorized.failures}"
+        )
+    if scalar.kinds != vectorized.kinds:
+        first = next(
+            i
+            for i, (a, b) in enumerate(zip(scalar.kinds, vectorized.kinds))
+            if a is not b
+        )
+        raise DifferentialMismatch(
+            f"{context}: failure kind mismatch at position {first}: "
+            f"{scalar.kinds[first].value} != {vectorized.kinds[first].value}"
+        )
+    if scalar.failure_times_hours != vectorized.failure_times_hours:
+        first = next(
+            i
+            for i, (a, b) in enumerate(
+                zip(
+                    scalar.failure_times_hours,
+                    vectorized.failure_times_hours,
+                )
+            )
+            if a != b
+        )
+        raise DifferentialMismatch(
+            f"{context}: failure time mismatch at position {first}: "
+            f"{scalar.failure_times_hours[first]!r} != "
+            f"{vectorized.failure_times_hours[first]!r}"
+        )
+    if _canonical_payload(scalar) != _canonical_payload(vectorized):
+        raise DifferentialMismatch(
+            f"{context}: checkpoint payload JSON differs despite "
+            "field-level equality"
+        )
+
+
+def _with_backend(
+    config: MonteCarloConfig, backend: str
+) -> MonteCarloConfig:
+    """Copy of ``config`` pinned to one adjudication backend."""
+    return dataclasses.replace(config, faultsim_backend=backend)
+
+
+def replay_shard(
+    scheme: ProtectionScheme,
+    config: Optional[MonteCarloConfig] = None,
+    start_index: int = 0,
+    num_systems: Optional[int] = None,
+) -> DifferentialReport:
+    """Replay one sampled shard through both backends and compare.
+
+    Samples the shard twice from the same ``SeedSequence`` (the
+    sequence is stateless, so both backends see the identical draw
+    stream) and adjudicates it scalar-then-vectorized.  Raises
+    :class:`DifferentialMismatch` on any divergence.
+    """
+    config = config or MonteCarloConfig()
+    scheme.bind_ecc_backend(config.ecc_backend)
+    if num_systems is None:
+        num_systems = config.num_systems
+    seed_seq = np.random.SeedSequence(config.seed)
+    scalar = _simulate_shard(
+        scheme, _with_backend(config, "scalar"),
+        start_index, num_systems, seed_seq,
+    )
+    vectorized = _simulate_shard(
+        scheme, _with_backend(config, "vectorized"),
+        start_index, num_systems, seed_seq,
+    )
+    context = f"shard[{start_index}:{start_index + num_systems}] {scheme.name}"
+    assert_identical(scalar, vectorized, context)
+    if OBS.enabled:
+        OBS.registry.counter("faultsim.differential.shards").inc()
+        OBS.registry.counter(
+            "faultsim.differential.systems"
+        ).inc(num_systems)
+    return DifferentialReport(
+        scheme_name=scheme.name,
+        num_systems=num_systems,
+        failures=scalar.failures,
+        due=scalar.due_count,
+        sdc=scalar.sdc_count,
+    )
+
+
+def replay_simulation(
+    scheme: ProtectionScheme,
+    config: Optional[MonteCarloConfig] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+) -> DifferentialReport:
+    """Run a full sharded ``simulate()`` under both backends and compare.
+
+    Exercises the complete pipeline -- shard planning, seeding, the
+    worker pool and result merging -- and additionally asserts that the
+    merged payload survives a JSON round-trip exactly (the property
+    checkpoint resume rests on).  Raises :class:`DifferentialMismatch`
+    on any divergence.
+    """
+    config = config or MonteCarloConfig()
+    scalar = simulate(
+        scheme, _with_backend(config, "scalar"),
+        workers=workers, shard_size=shard_size,
+    )
+    vectorized = simulate(
+        scheme, _with_backend(config, "vectorized"),
+        workers=workers, shard_size=shard_size,
+    )
+    context = f"simulate({scheme.name}, workers={workers})"
+    assert_identical(scalar, vectorized, context)
+    # Checkpoint-resume property: the merged payload must survive a
+    # JSON round-trip bit for bit (floats re-parse to the identical
+    # values, and the rebuilt result re-serialises to the identical
+    # canonical JSON the checkpoint digests are computed over).
+    round_tripped = ReliabilityResult.from_payload(
+        json.loads(json.dumps(vectorized.to_payload()))
+    )
+    assert_identical(scalar, round_tripped, context + " [json round-trip]")
+    if OBS.enabled:
+        OBS.registry.counter("faultsim.differential.simulations").inc()
+        OBS.registry.counter(
+            "faultsim.differential.systems"
+        ).inc(config.num_systems)
+    return DifferentialReport(
+        scheme_name=scheme.name,
+        num_systems=config.num_systems,
+        failures=scalar.failures,
+        due=scalar.due_count,
+        sdc=scalar.sdc_count,
+        workers=workers,
+    )

@@ -22,6 +22,7 @@ from repro.faultsim.fault import AddressRange, ChipFault, FaultSpace
 from repro.faultsim.fault_models import FailureMode, FitTable
 from repro.faultsim.scaling import ScalingFaultModel
 from repro.faultsim.schemes import ProtectionScheme
+from repro.faultsim.vectorized import MODE_CODES, FaultShard
 
 
 @dataclass
@@ -90,6 +91,20 @@ class FaultSampler:
         ]
         self._mode_probs = np.array([w for _, _, w in modes])
         self._wildcards = [self.space.wildcard_for(mode) for mode, _ in self._modes]
+        # Per-FIT-row metadata in array form, for struct-of-arrays shards.
+        self._row_mode_codes = np.array(
+            [MODE_CODES[mode] for mode, _ in self._modes], dtype=np.int64
+        )
+        self._row_permanent = np.array(
+            [permanent for _, permanent in self._modes], dtype=bool
+        )
+        self._row_wildcards = np.array(self._wildcards, dtype=np.int64)
+        self._row_spans = np.array(
+            [mode.spans_ranks for mode, _ in self._modes], dtype=bool
+        )
+        self._row_correctable = np.array(
+            [mode.on_die_correctable for mode, _ in self._modes], dtype=bool
+        )
 
     def secded_lane_profile(self, samples: int = 20000, seed: int = 2016):
         """Decode-outcome profile of chip-lane errors at the DIMM code.
@@ -128,14 +143,14 @@ class FaultSampler:
         """Total runtime-fault counts per system (one Poisson draw)."""
         return rng.poisson(self.lam_per_system, num_systems)
 
-    def sample_shard(
+    def sample_shard_arrays(
         self,
         start_index: int,
         num_systems: int,
         rng: np.random.Generator,
         min_faults: int = 1,
-    ) -> Iterator[SampledSystem]:
-        """Sample one shard of systems, fully vectorised per FIT row.
+    ) -> FaultShard:
+        """Sample one shard into struct-of-arrays form, per FIT row.
 
         Instead of drawing one total-Poisson count per system and then
         splitting it categorically, each FIT-table row (failure mode x
@@ -146,10 +161,14 @@ class FaultSampler:
         categorical split, and it removes the per-fault ``rng.choice``
         from the hot loop.
 
-        Only systems with at least ``min_faults`` faults are
-        materialised; their global indices are ``start_index`` plus the
-        in-shard offset, so downstream per-system seeding (which hashes
-        the global index) is shard-layout independent.
+        Only systems with at least ``min_faults`` faults are kept;
+        their global indices are ``start_index`` plus the in-shard
+        offset, so downstream per-system seeding (which hashes the
+        global index) is shard-layout independent.  The returned
+        :class:`~repro.faultsim.vectorized.FaultShard` holds the raw
+        draw columns grouped by system; both backends consume it --
+        the scalar path via :meth:`materialise_shard`, the vectorized
+        kernels directly -- so the RNG stream is shared verbatim.
         """
         rates = self.row_rates
         num_rows = len(rates)
@@ -158,7 +177,12 @@ class FaultSampler:
             counts[i] = rng.poisson(rates[i], num_systems)
         selected = np.nonzero(counts.sum(axis=0) >= min_faults)[0]
         if selected.size == 0:
-            return
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_f = np.empty(0, dtype=np.float64)
+            return self._shard(
+                start_index, num_systems, selected, empty_i,
+                empty_i, empty_i, empty_f, empty_i, empty_f,
+            )
         sel_counts = counts[:, selected]
 
         # One attribute batch per row, drawn in fixed row order (this is
@@ -173,23 +197,84 @@ class FaultSampler:
             for i in range(num_rows)
         ])
         order = np.argsort(positions, kind="stable")
-        modes = np.concatenate([
+        mode_rows = np.concatenate([
             np.full(len(row_attrs[i]["times"]), i, dtype=np.int64)
             for i in range(num_rows)
-        ])[order].tolist()
-        chips = np.concatenate(
-            [a["chips"] for a in row_attrs])[order].tolist()
-        times = np.concatenate(
-            [a["times"] for a in row_attrs])[order].tolist()
-        addrs = np.concatenate(
-            [a["addrs"] for a in row_attrs])[order].tolist()
-        promote = np.concatenate(
-            [a["promote"] for a in row_attrs])[order].tolist()
+        ])[order]
+        chips = np.concatenate([a["chips"] for a in row_attrs])[order]
+        times = np.concatenate([a["times"] for a in row_attrs])[order]
+        addrs = np.concatenate([a["addrs"] for a in row_attrs])[order]
+        promote = np.concatenate([a["promote"] for a in row_attrs])[order]
+        return self._shard(
+            start_index, num_systems, selected, sel_counts.sum(axis=0),
+            mode_rows, chips, times, addrs, promote,
+        )
 
+    def _shard(
+        self,
+        start_index: int,
+        num_systems: int,
+        selected: np.ndarray,
+        totals: np.ndarray,
+        mode_rows: np.ndarray,
+        chips: np.ndarray,
+        times: np.ndarray,
+        addrs: np.ndarray,
+        promote: np.ndarray,
+    ) -> FaultShard:
+        return FaultShard(
+            start_index=start_index,
+            num_systems=num_systems,
+            selected=selected,
+            counts=totals,
+            mode_rows=mode_rows,
+            chips_global=chips,
+            times=times,
+            addr_values=addrs,
+            promote_u=promote,
+            row_mode_codes=self._row_mode_codes,
+            row_permanent=self._row_permanent,
+            row_wildcards=self._row_wildcards,
+            row_spans=self._row_spans,
+            row_correctable=self._row_correctable,
+            chips_per_rank=self.scheme.chips_per_rank,
+            ranks_per_channel=self.scheme.ranks_per_channel,
+            promotion_p=self.promotion_p,
+            scrub_hours=self.scrub_hours,
+            word_mask=self.space.word_mask,
+        )
+
+    def sample_shard(
+        self,
+        start_index: int,
+        num_systems: int,
+        rng: np.random.Generator,
+        min_faults: int = 1,
+    ) -> Iterator[SampledSystem]:
+        """Sample one shard and materialise ChipFault sample systems.
+
+        Draws via :meth:`sample_shard_arrays` (so the stream is
+        identical under both adjudication backends) and builds the
+        per-system :class:`~repro.faultsim.fault.ChipFault` lists the
+        scalar evaluators walk.
+        """
+        yield from self.materialise_shard(
+            self.sample_shard_arrays(start_index, num_systems, rng, min_faults)
+        )
+
+    def materialise_shard(self, shard: FaultShard) -> Iterator[SampledSystem]:
+        """Build ChipFault sample systems from a struct-of-arrays shard."""
+        if shard.selected.size == 0:
+            return
+        modes = shard.mode_rows.tolist()
+        chips = shard.chips_global.tolist()
+        times = shard.times.tolist()
+        addrs = shard.addr_values.tolist()
+        promote = shard.promote_u.tolist()
         chips_per_rank = self.scheme.chips_per_rank
         ranks = self.scheme.ranks_per_channel
-        totals = sel_counts.sum(axis=0).tolist()
-        indices = selected.tolist()
+        totals = shard.counts.tolist()
+        indices = shard.selected.tolist()
         offset = 0
         for j, offset_in_shard in enumerate(indices):
             faults: List[ChipFault] = []
@@ -204,7 +289,7 @@ class FaultSampler:
                     ranks,
                 ))
             offset += totals[j]
-            yield SampledSystem(start_index + offset_in_shard, faults)
+            yield SampledSystem(shard.start_index + offset_in_shard, faults)
 
     def _draw_attributes(
         self, total: int, rng: np.random.Generator

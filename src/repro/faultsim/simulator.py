@@ -19,7 +19,6 @@ in-process (``workers=1``) or on a multiprocessing pool.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
@@ -30,6 +29,11 @@ from repro.faultsim.fault_models import FitTable, HOURS_PER_YEAR, LIFETIME_YEARS
 from repro.faultsim.injector import FaultSampler
 from repro.faultsim.parallel import plan_shards, resolve_shard_size, run_sharded
 from repro.faultsim.schemes import FailureKind, ProtectionScheme
+from repro.faultsim.vectorized import (
+    adjudicate_shard,
+    system_rng,
+    validate_faultsim_backend,
+)
 from repro.obs import OBS, events, get_logger
 from repro.obs.progress import progress
 from repro.runtime.checkpoint import RunFingerprint, config_digest
@@ -65,6 +69,13 @@ class MonteCarloConfig:
     #: Which ECC codec backend evaluates measured code parameters
     #: (e.g. the ECC-DIMM DUE/SDC split): "scalar" or "batched".
     ecc_backend: str = "scalar"
+    #: Which lifetime-adjudication backend classifies sample systems:
+    #: "scalar" walks ChipFault lists through ``scheme.evaluate`` (the
+    #: golden model), "vectorized" runs the batch kernels of
+    #: :mod:`repro.faultsim.vectorized`.  Both are bit-identical (the
+    #: differential harness enforces it), so this knob only trades
+    #: speed, never results.
+    faultsim_backend: str = "scalar"
 
     @property
     def hours(self) -> float:
@@ -81,6 +92,25 @@ class ReliabilityResult:
     years: float
     failure_times_hours: List[float]
     kinds: List[FailureKind]
+    #: Cached (len(kinds), due, sdc) triple; invalidated by length, the
+    #: same staleness rule CampaignResult uses, so appending kinds (as
+    #: tests building results incrementally do) recounts lazily instead
+    #: of walking the list on every property access.
+    _kind_counts: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        """Normalise ``years`` to float at construction.
+
+        ``LIFETIME_YEARS`` is the integer 7, while ``from_payload``
+        coerces to float; without this, a checkpoint-resumed result
+        would serialise ``"years": 7.0`` where a fresh run writes
+        ``"years": 7`` -- same value, different payload bytes, breaking
+        the byte-compatibility that cross-backend ``--resume`` and the
+        golden-digest corpus rely on.
+        """
+        self.years = float(self.years)
 
     @property
     def failures(self) -> int:
@@ -92,15 +122,30 @@ class ReliabilityResult:
         """Point estimate of P(system failure) over the lifetime."""
         return self.failures / self.num_systems
 
+    def _counts(self) -> tuple:
+        """(population, due, sdc) with O(1) amortised access."""
+        cached = self._kind_counts
+        if cached is None or cached[0] != len(self.kinds):
+            due = 0
+            sdc = 0
+            for k in self.kinds:
+                if k is FailureKind.DUE:
+                    due += 1
+                elif k is FailureKind.SDC:
+                    sdc += 1
+            cached = (len(self.kinds), due, sdc)
+            self._kind_counts = cached
+        return cached
+
     @property
     def due_count(self) -> int:
         """Failed systems classified as detected-uncorrectable."""
-        return sum(1 for k in self.kinds if k is FailureKind.DUE)
+        return self._counts()[1]
 
     @property
     def sdc_count(self) -> int:
         """Failed systems classified as silent data corruption."""
-        return sum(1 for k in self.kinds if k is FailureKind.SDC)
+        return self._counts()[2]
 
     def probability_by_year(self, year: float) -> float:
         """P(failed at or before ``year``) -- one point of the curves."""
@@ -262,7 +307,11 @@ def _simulate_shard(
     ``seed_seq`` (a ``SeedSequence.spawn`` child); the per-system
     evaluation RNG hashes the *global* system index together with the
     experiment seed, so a system's outcome is independent of which
-    shard -- or which worker -- it landed in.
+    shard -- or which worker -- it landed in.  Both adjudication
+    backends consume the identical sampled shard, and the vectorized
+    kernels are bit-identical to ``scheme.evaluate``, so
+    ``config.faultsim_backend`` never changes the result -- including
+    the per-failure telemetry events, emitted in the same order.
     """
     sampler = FaultSampler(
         scheme,
@@ -276,27 +325,51 @@ def _simulate_shard(
     rng = np.random.default_rng(seed_seq)
     failure_times: List[float] = []
     kinds: List[FailureKind] = []
-    for system in sampler.sample_shard(
-        start_index, num_systems, rng, min_faults=scheme.min_faults
-    ):
-        sys_rng = random.Random((config.seed << 20) ^ (system.index * 0x9E3779B1))
-        outcome = scheme.evaluate(system.faults, sys_rng)
-        if outcome is not None:
-            failure_times.append(outcome.time_hours)
-            kinds.append(outcome.kind)
-            if OBS.enabled:
+    if config.faultsim_backend == "vectorized":
+        shard = sampler.sample_shard_arrays(
+            start_index, num_systems, rng, min_faults=scheme.min_faults
+        )
+        adjudication = adjudicate_shard(scheme, shard, config.seed)
+        failure_times = adjudication.failure_times
+        kinds = adjudication.kinds
+        if OBS.enabled:
+            for index, time_hours, kind in zip(
+                adjudication.system_indices, failure_times, kinds
+            ):
                 OBS.registry.counter("faultsim.failures").inc()
                 OBS.registry.counter(
-                    f"faultsim.failure.{outcome.kind.value}"
+                    f"faultsim.failure.{kind.value}"
                 ).inc()
                 OBS.trace.record(
                     events.TrialCompleted(
-                        int(system.index),
+                        int(index),
                         f"monte_carlo.{scheme.name}",
-                        outcome.kind.value,
-                        {"time_hours": int(outcome.time_hours)},
+                        kind.value,
+                        {"time_hours": int(time_hours)},
                     )
                 )
+    else:
+        for system in sampler.sample_shard(
+            start_index, num_systems, rng, min_faults=scheme.min_faults
+        ):
+            sys_rng = system_rng(config.seed, system.index)
+            outcome = scheme.evaluate(system.faults, sys_rng)
+            if outcome is not None:
+                failure_times.append(outcome.time_hours)
+                kinds.append(outcome.kind)
+                if OBS.enabled:
+                    OBS.registry.counter("faultsim.failures").inc()
+                    OBS.registry.counter(
+                        f"faultsim.failure.{outcome.kind.value}"
+                    ).inc()
+                    OBS.trace.record(
+                        events.TrialCompleted(
+                            int(system.index),
+                            f"monte_carlo.{scheme.name}",
+                            outcome.kind.value,
+                            {"time_hours": int(outcome.time_hours)},
+                        )
+                    )
     return ReliabilityResult(
         scheme_name=scheme.name,
         num_systems=num_systems,
@@ -315,6 +388,12 @@ def reliability_fingerprint(
     hash -- the scheme, the FIT table, scaling, scrubbing, device
     geometry and the codec backend -- so a checkpoint can never be
     silently resumed into a different experiment.
+
+    ``faultsim_backend`` is deliberately *excluded*: the scalar and
+    vectorized backends produce bit-identical shard payloads (enforced
+    by :mod:`repro.faultsim.differential`), so checkpoint records stay
+    byte-compatible and a run checkpointed under one backend can be
+    resumed under the other.
     """
     description = {
         "scheme": scheme.name,
@@ -369,6 +448,7 @@ def simulate(
     policy the legacy fast path runs unchanged.
     """
     config = config or MonteCarloConfig()
+    validate_faultsim_backend(config.faultsim_backend)
     # Bind before shard fan-out so workers receive the bound scheme.
     scheme.bind_ecc_backend(config.ecc_backend)
     shard_size = resolve_shard_size(
@@ -428,6 +508,9 @@ def simulate(
         OBS.registry.counter("faultsim.shards").inc(len(shards))
         OBS.registry.counter(
             f"faultsim.ecc_backend.{config.ecc_backend}"
+        ).inc()
+        OBS.registry.counter(
+            f"faultsim.backend.{config.faultsim_backend}"
         ).inc()
         if elapsed > 0:
             OBS.registry.gauge("faultsim.systems_per_s").set(

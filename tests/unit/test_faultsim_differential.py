@@ -1,0 +1,245 @@
+"""Differential tests: scalar vs vectorized Monte-Carlo adjudication.
+
+The scalar path is the golden model; every test here replays identical
+sampled shards (or whole sharded simulations) through both backends
+and requires bit-identical ``ReliabilityResult`` payloads -- failure
+counts, kinds and exact failure-time floats -- for all six protection
+schemes, at one and at four workers.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.faultsim import (
+    ChipkillScheme,
+    DoubleChipkillScheme,
+    EccDimmScheme,
+    FailureKind,
+    FitTable,
+    MonteCarloConfig,
+    NonEccScheme,
+    ProtectionScheme,
+    XedChipkillScheme,
+    XedScheme,
+    simulate,
+)
+from repro.faultsim.differential import (
+    DifferentialMismatch,
+    DifferentialReport,
+    assert_identical,
+    replay_shard,
+    replay_simulation,
+)
+from repro.faultsim.simulator import ReliabilityResult
+from repro.faultsim.vectorized import (
+    UnsupportedSchemeError,
+    adjudicate_shard,
+    validate_faultsim_backend,
+)
+from repro.faultsim.injector import FaultSampler
+
+# One representative instance per scheme.  The ECC-DIMM fraction is
+# pinned so the test does not re-measure the decoder profile per run.
+ALL_SCHEMES = [
+    NonEccScheme,
+    lambda: EccDimmScheme(sdc_fraction=0.44),
+    XedScheme,
+    ChipkillScheme,
+    DoubleChipkillScheme,
+    XedChipkillScheme,
+]
+SCHEME_IDS = [
+    "non_ecc", "ecc_dimm", "xed", "chipkill", "double_chipkill",
+    "xed_chipkill",
+]
+
+
+def stress_config(**overrides):
+    """A small population with FIT rates scaled up for failure signal."""
+    defaults = dict(
+        num_systems=3_000,
+        seed=2016,
+        fit=FitTable().scaled(30.0),
+    )
+    defaults.update(overrides)
+    return MonteCarloConfig(**defaults)
+
+
+class TestReplayShard:
+    @pytest.mark.parametrize("make_scheme", ALL_SCHEMES, ids=SCHEME_IDS)
+    def test_single_shard_bit_identical(self, make_scheme):
+        report = replay_shard(make_scheme(), stress_config())
+        assert report.failures > 0, "stress config must produce failures"
+
+    @pytest.mark.parametrize("make_scheme", ALL_SCHEMES, ids=SCHEME_IDS)
+    def test_scaling_and_scrubbing_bit_identical(self, make_scheme):
+        report = replay_shard(
+            make_scheme(),
+            stress_config(scaling_rate=1e-2, scrub_hours=168.0, seed=7),
+        )
+        assert report.failures >= 0  # the assertion is inside the replay
+
+    def test_xed_misdiagnosis_tail_bit_identical(self):
+        # Exercises the SDC misdiagnosis branch, whose draws interleave
+        # with the on-die-miss draws in the scalar tail loop.
+        report = replay_shard(
+            XedScheme(misdiagnosis_sdc_probability=5e-3),
+            stress_config(seed=11),
+        )
+        assert report.sdc > 0, "misdiagnosis tail should produce SDCs"
+
+    def test_nonzero_start_index_bit_identical(self):
+        # Per-system RNG hashes the global index; offset shards must
+        # agree too.
+        replay_shard(XedScheme(), stress_config(), start_index=123_456)
+
+
+class TestReplaySimulation:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("make_scheme", ALL_SCHEMES, ids=SCHEME_IDS)
+    def test_full_simulation_bit_identical(self, make_scheme, workers):
+        report = replay_simulation(
+            make_scheme(),
+            stress_config(num_systems=4_000),
+            workers=workers,
+            shard_size=1_000,
+        )
+        assert report.workers == workers
+
+    def test_report_str_mentions_scheme(self):
+        report = replay_simulation(
+            XedScheme(), stress_config(num_systems=1_000), shard_size=500
+        )
+        assert "XED" in str(report)
+        assert "bit-identical" in str(report)
+
+
+class TestBackendWiring:
+    def test_simulate_backends_agree_via_config(self):
+        cfg = stress_config(num_systems=2_000)
+        scalar = simulate(
+            XedScheme(),
+            dataclasses.replace(cfg, faultsim_backend="scalar"),
+        )
+        vectorized = simulate(
+            XedScheme(),
+            dataclasses.replace(cfg, faultsim_backend="vectorized"),
+        )
+        assert json.dumps(scalar.to_payload()) == json.dumps(
+            vectorized.to_payload()
+        )
+
+    def test_default_backend_is_scalar(self):
+        assert MonteCarloConfig().faultsim_backend == "scalar"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="faultsim backend"):
+            simulate(
+                XedScheme(),
+                MonteCarloConfig(num_systems=100, faultsim_backend="turbo"),
+            )
+        with pytest.raises(ValueError):
+            validate_faultsim_backend("gpu")
+
+    def test_custom_scheme_rejected_by_vectorized(self):
+        class WeirdScheme(XedScheme):
+            """Subclass with (potentially) overridden evaluate."""
+
+        with pytest.raises(UnsupportedSchemeError, match="scalar"):
+            simulate(
+                WeirdScheme(),
+                MonteCarloConfig(
+                    num_systems=100, faultsim_backend="vectorized"
+                ),
+            )
+
+    def test_adjudicate_shard_empty_population(self):
+        scheme = ChipkillScheme()
+        sampler = FaultSampler(scheme, FitTable(), 7 * 24 * 365)
+        import numpy as np
+
+        shard = sampler.sample_shard_arrays(
+            0, 50, np.random.default_rng(0), min_faults=scheme.min_faults
+        )
+        adjudication = adjudicate_shard(scheme, shard, 2016)
+        assert adjudication.system_indices == []
+        assert adjudication.failure_times == []
+        assert adjudication.kinds == []
+
+
+class TestMismatchDetection:
+    def make_result(self, **overrides):
+        fields = dict(
+            scheme_name="x",
+            num_systems=100,
+            years=7.0,
+            failure_times_hours=[1.0, 2.0],
+            kinds=[FailureKind.DUE, FailureKind.SDC],
+        )
+        fields.update(overrides)
+        return ReliabilityResult(**fields)
+
+    def test_identical_results_pass(self):
+        assert_identical(self.make_result(), self.make_result(), "ctx")
+
+    def test_population_mismatch_raises(self):
+        with pytest.raises(DifferentialMismatch, match="population"):
+            assert_identical(
+                self.make_result(),
+                self.make_result(num_systems=101),
+                "ctx",
+            )
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(DifferentialMismatch, match="failure count"):
+            assert_identical(
+                self.make_result(),
+                self.make_result(
+                    failure_times_hours=[1.0], kinds=[FailureKind.DUE]
+                ),
+                "ctx",
+            )
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(DifferentialMismatch, match="kind mismatch"):
+            assert_identical(
+                self.make_result(),
+                self.make_result(kinds=[FailureKind.DUE, FailureKind.DUE]),
+                "ctx",
+            )
+
+    def test_time_mismatch_raises(self):
+        with pytest.raises(DifferentialMismatch, match="time mismatch"):
+            assert_identical(
+                self.make_result(),
+                self.make_result(failure_times_hours=[1.0, 2.0 + 1e-12]),
+                "ctx",
+            )
+
+    def test_payload_mismatch_raises(self):
+        # scheme_name is not field-compared, but it is serialised: a
+        # pair differing only there survives the field checks and must
+        # be caught by the canonical-payload comparison.
+        with pytest.raises(DifferentialMismatch, match="payload JSON"):
+            assert_identical(
+                self.make_result(scheme_name="x"),
+                self.make_result(scheme_name="y"),
+                "ctx",
+            )
+
+    def test_int_years_normalised_at_construction(self):
+        # LIFETIME_YEARS is the int 7; construction must coerce so a
+        # fresh result and a checkpoint-rehydrated one serialise the
+        # same payload bytes (cross-backend --resume relies on it).
+        fresh = self.make_result(years=7)
+        rehydrated = self.make_result(years=7.0)
+        assert json.dumps(fresh.to_payload()) == json.dumps(
+            rehydrated.to_payload()
+        )
+
+    def test_report_is_frozen(self):
+        report = DifferentialReport("x", 1, 0, 0, 0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.failures = 5

@@ -1,0 +1,247 @@
+"""Hypothesis property suite for the fault-simulation schemes.
+
+Four families of properties, each one a structural invariant of the
+XED paper's failure model rather than a point check:
+
+* Chipkill (any single-symbol corrector) never fails -- and in
+  particular never SDCs -- when every fault sits in one chip;
+* XED corrects any *detected* single-chip error, whatever its
+  granularity (only the undetectable transient-word tail can kill);
+* failure is monotone: adding faults to a system never un-fails it and
+  never delays its first failure (for the deterministic schemes);
+* ``ReliabilityResult.merge`` is associative, so a sharded run can be
+  reduced in any grouping and still produce the identical payload.
+
+A final property replays hypothesis-chosen small populations through
+both adjudication backends via the differential harness.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faultsim.differential import replay_shard
+from repro.faultsim.fault import AddressRange, ChipFault, FaultSpace
+from repro.faultsim.fault_models import FailureMode, FitTable
+from repro.faultsim.schemes import (
+    ChipkillScheme,
+    DoubleChipkillScheme,
+    FailureKind,
+    NonEccScheme,
+    XedChipkillScheme,
+    XedScheme,
+)
+from repro.faultsim.simulator import MonteCarloConfig, ReliabilityResult
+from repro.faultsim.vectorized import system_rng
+
+SPACE = FaultSpace()
+HOURS = 7 * 24 * 365
+
+# Granularities a scheme can be handed directly (MULTI_RANK arrives
+# pre-cloned from the sampler, so evaluate() never sees it raw).
+MODES = [
+    FailureMode.SINGLE_BIT,
+    FailureMode.SINGLE_WORD,
+    FailureMode.SINGLE_COLUMN,
+    FailureMode.SINGLE_ROW,
+    FailureMode.SINGLE_BANK,
+    FailureMode.MULTI_BANK,
+]
+
+# Deterministic schemes: evaluate() consumes no RNG draws, so failure
+# outcomes are pure functions of the fault set.  (XED is deterministic
+# with the undetectable-miss tail switched off.)
+DETERMINISTIC_SCHEMES = [
+    NonEccScheme(),
+    ChipkillScheme(),
+    DoubleChipkillScheme(),
+    XedScheme(on_die_miss_probability=0.0),
+]
+
+
+@st.composite
+def chip_faults(draw, chip=None, visible=True):
+    """One ChipFault with mode-consistent wildcard, optionally pinned."""
+    mode = draw(st.sampled_from(MODES))
+    wildcard = SPACE.wildcard_for(mode)
+    time = draw(
+        st.floats(min_value=0.0, max_value=HOURS, allow_nan=False)
+    )
+    permanent = draw(st.booleans())
+    end = (
+        float("inf")
+        if permanent
+        else time
+        + draw(st.floats(min_value=0.0, max_value=HOURS, allow_nan=False))
+    )
+    return ChipFault(
+        channel=draw(st.integers(0, 3)),
+        rank=draw(st.integers(0, 1)),
+        chip=chip if chip is not None else draw(st.integers(0, 8)),
+        mode=mode,
+        permanent=permanent,
+        time_hours=time,
+        addr=AddressRange(
+            draw(st.integers(0, SPACE.full_mask)), wildcard
+        ),
+        on_die_correctable=not visible,
+        end_hours=end,
+    )
+
+
+def fault_lists(min_size=1, max_size=6, **kwargs):
+    """Lists of visible faults for direct evaluate() calls."""
+    return st.lists(
+        chip_faults(**kwargs), min_size=min_size, max_size=max_size
+    )
+
+
+def rng():
+    """A fresh per-system RNG (the exact kind the simulator hands out)."""
+    return system_rng(2016, 0)
+
+
+class TestSingleChipImmunity:
+    @given(faults=fault_lists(max_size=5, chip=3))
+    @settings(max_examples=120)
+    def test_chipkill_survives_any_single_chip_damage(self, faults):
+        """Chipkill corrects one symbol: same-chip faults never fail."""
+        assert ChipkillScheme().evaluate(faults, rng()) is None
+
+    @given(faults=fault_lists(max_size=5, chip=3))
+    @settings(max_examples=60)
+    def test_double_chipkill_survives_single_chip_damage(self, faults):
+        assert DoubleChipkillScheme().evaluate(faults, rng()) is None
+
+    @given(faults=fault_lists(max_size=8))
+    @settings(max_examples=120)
+    def test_chipkill_never_sdcs(self, faults):
+        """Chipkill's only failure mechanism is detected (DUE)."""
+        failure = ChipkillScheme().evaluate(faults, rng())
+        assert failure is None or failure.kind is FailureKind.DUE
+
+    @given(faults=fault_lists(max_size=5, chip=3))
+    @settings(max_examples=60)
+    def test_xed_chipkill_survives_single_chip_damage(self, faults):
+        assert XedChipkillScheme().evaluate(faults, rng()) is None
+
+
+class TestXedErasureCorrection:
+    @given(fault=chip_faults())
+    @settings(max_examples=120)
+    def test_xed_corrects_any_detected_single_fault(self, fault):
+        """On-die detection makes one faulty chip a pure erasure."""
+        scheme = XedScheme(on_die_miss_probability=0.0)
+        assert scheme.evaluate([fault], rng()) is None
+
+    @given(fault=chip_faults())
+    @settings(max_examples=120)
+    def test_xed_corrects_detected_faults_at_default_miss_rate(
+        self, fault
+    ):
+        """Only *transient word* faults can slip past on-die ECC; any
+        other single visible fault is corrected even at the paper's
+        0.8% miss probability."""
+        if fault.mode is FailureMode.SINGLE_WORD and not fault.permanent:
+            return  # the undetectable tail -- exercised elsewhere
+        failure = XedScheme().evaluate([fault], rng())
+        assert failure is None
+
+    @given(fault=chip_faults(visible=False))
+    @settings(max_examples=40)
+    def test_on_die_correctable_faults_are_invisible(self, fault):
+        for scheme in DETERMINISTIC_SCHEMES:
+            assert scheme.evaluate([fault], rng()) is None
+
+
+class TestFailureMonotonicity:
+    @given(
+        faults=fault_lists(min_size=2, max_size=6),
+        extra=chip_faults(),
+    )
+    @settings(max_examples=120)
+    def test_adding_a_fault_never_helps(self, faults, extra):
+        """For every deterministic scheme: superset failure exists and
+        is no later than the subset failure."""
+        for scheme in DETERMINISTIC_SCHEMES:
+            base = scheme.evaluate(faults, rng())
+            more = scheme.evaluate(faults + [extra], rng())
+            if base is not None:
+                assert more is not None
+                assert more.time_hours <= base.time_hours
+
+    @given(scale=st.floats(min_value=1.0, max_value=64.0))
+    @settings(max_examples=40)
+    def test_fit_scaling_is_monotone_in_rates(self, scale):
+        """scaled() multiplies every mode rate, so total FIT grows."""
+        base = FitTable()
+        scaled = base.scaled(scale)
+        for mode in FailureMode:
+            assert (
+                scaled.rates[mode].total >= base.rates[mode].total
+            )
+        assert scaled.total_fit >= base.total_fit
+
+
+def shard_results(max_failures=5):
+    """Strategy for compatible per-shard ReliabilityResults."""
+    failure = st.tuples(
+        st.floats(min_value=0.0, max_value=HOURS, allow_nan=False),
+        st.sampled_from([FailureKind.DUE, FailureKind.SDC]),
+    )
+    def build(failures):
+        return ReliabilityResult(
+            scheme_name="prop",
+            num_systems=1000,
+            years=7.0,
+            failure_times_hours=[t for t, _ in failures],
+            kinds=[k for _, k in failures],
+        )
+    return st.lists(failure, max_size=max_failures).map(build)
+
+
+class TestMergeAssociativity:
+    @given(
+        a=shard_results(), b=shard_results(), c=shard_results()
+    )
+    @settings(max_examples=120)
+    def test_merge_is_associative(self, a, b, c):
+        merge = ReliabilityResult.merge
+        left = merge([merge([a, b]), c])
+        right = merge([a, merge([b, c])])
+        flat = merge([a, b, c])
+        payloads = {
+            json.dumps(r.to_payload(), sort_keys=True)
+            for r in (left, right, flat)
+        }
+        assert len(payloads) == 1
+        assert left.num_systems == a.num_systems * 3
+        assert (left.due_count, left.sdc_count) == (
+            flat.due_count,
+            flat.sdc_count,
+        )
+
+
+class TestDifferentialProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scale=st.floats(min_value=10.0, max_value=60.0),
+        scheme=st.sampled_from(
+            [XedScheme, ChipkillScheme, XedChipkillScheme]
+        ),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_backends_agree_on_arbitrary_configs(
+        self, seed, scale, scheme
+    ):
+        """Scalar and vectorized adjudication stay bit-identical for
+        hypothesis-chosen seeds and FIT scalings."""
+        replay_shard(
+            scheme(),
+            MonteCarloConfig(
+                num_systems=400,
+                seed=seed,
+                fit=FitTable().scaled(scale),
+            ),
+        )

@@ -185,6 +185,46 @@ class TestSimulate:
             result.years_to_failure_probability(0.0)
 
 
+class TestKindCountCaching:
+    def test_counts_match_kind_lists(self):
+        result = ReliabilityResult(
+            "x", 100, 7, [1.0, 2.0, 3.0],
+            [FailureKind.DUE, FailureKind.SDC, FailureKind.DUE],
+        )
+        assert result.due_count == 2
+        assert result.sdc_count == 1
+        # Second access hits the cache and must agree.
+        assert (result.due_count, result.sdc_count) == (2, 1)
+
+    def test_counts_after_merge(self):
+        a = ReliabilityResult(
+            "x", 100, 7, [1.0, 2.0], [FailureKind.DUE, FailureKind.SDC]
+        )
+        b = ReliabilityResult(
+            "x", 100, 7, [3.0], [FailureKind.DUE]
+        )
+        # Prime both caches before merging.
+        assert (a.due_count, b.due_count) == (1, 1)
+        merged = ReliabilityResult.merge([a, b])
+        assert merged.due_count == 2
+        assert merged.sdc_count == 1
+        assert merged.failures == 3
+
+    def test_counts_refresh_after_append(self):
+        result = ReliabilityResult("x", 100, 7, [1.0], [FailureKind.DUE])
+        assert result.due_count == 1
+        result.failure_times_hours.append(2.0)
+        result.kinds.append(FailureKind.SDC)
+        assert result.due_count == 1
+        assert result.sdc_count == 1
+
+    def test_cache_does_not_affect_equality(self):
+        a = ReliabilityResult("x", 100, 7, [1.0], [FailureKind.DUE])
+        b = ReliabilityResult("x", 100, 7, [1.0], [FailureKind.DUE])
+        assert a.due_count == 1  # prime only one cache
+        assert a == b
+
+
 class TestEccBackendConfig:
     def test_config_default_backend(self):
         assert MonteCarloConfig().ecc_backend == "scalar"
