@@ -12,9 +12,16 @@ Sub-commands mirror the library's layers:
 * ``repro campaign --kind xed --trials 40 --chips 1`` -- behavioural
   fault-injection campaigns.
 
+* ``repro obs summarize|inspect|diff`` -- post-run analysis of exported
+  traces, metrics and checkpoints (see docs/observability.md).
+
 Every sub-command additionally accepts the observability flags
-``--log-level LEVEL``, ``--metrics-out PATH`` (JSON metrics dump) and
-``--trace-out PATH`` (JSON-lines event trace); see :mod:`repro.obs`.
+``--log-level LEVEL``, ``--metrics-out PATH`` (JSON metrics dump),
+``--trace-out PATH`` (JSON-lines event trace), ``--timeseries-out
+PATH`` (periodic counter/rate/quantile samples) and ``--trace-perfetto
+PATH`` (Chrome trace-event export of the span tree, loadable in
+``ui.perfetto.dev``); see :mod:`repro.obs`.  All exports are written
+atomically (temp file + rename).
 The ``reliability`` and ``campaign`` sub-commands take ``--workers N``
 and ``--shard-size N`` for sharded parallel execution (results are
 bit-identical for any worker count; see docs/performance.md).  Long
@@ -277,6 +284,16 @@ def _obs_parent() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH", default=argparse.SUPPRESS,
         help="write the structured event trace as JSON lines",
     )
+    group.add_argument(
+        "--timeseries-out", metavar="PATH", default=argparse.SUPPRESS,
+        help="write periodic telemetry samples (counters, rates, "
+             "latency quantiles, RSS) as JSON lines",
+    )
+    group.add_argument(
+        "--trace-perfetto", metavar="PATH", default=argparse.SUPPRESS,
+        help="also export the span tree in Chrome trace-event format "
+             "(open in ui.perfetto.dev or chrome://tracing)",
+    )
     return parent
 
 
@@ -287,12 +304,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="XED (ISCA 2016) reproduction toolkit",
         parents=[obs_flags],
+        allow_abbrev=False,
     )
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
-        return sub.add_parser(name, parents=[obs_flags], **kwargs)
+        return sub.add_parser(
+            name, parents=[obs_flags], allow_abbrev=False, **kwargs
+        )
 
     add_parser("list", help="list the registered paper experiments")
 
@@ -371,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--seed", type=int, default=2016)
     _add_parallel_flags(camp)
     _add_runtime_flags(camp)
+
+    from repro.obs.cli import add_obs_parser
+
+    add_obs_parser(sub)
 
     return parser
 
@@ -574,6 +598,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_export(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "obs":
+        from repro.obs.cli import run_obs
+
+        return run_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -590,8 +618,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args.log_level = getattr(args, "log_level", None)
     args.metrics_out = getattr(args, "metrics_out", None)
     args.trace_out = getattr(args, "trace_out", None)
+    args.timeseries_out = getattr(args, "timeseries_out", None)
+    args.trace_perfetto = getattr(args, "trace_perfetto", None)
 
-    from repro.obs import OBS, configure, get_logger
+    from repro.obs import OBS, configure, get_logger, span
     from repro.runtime import (
         CheckpointError,
         RunInterrupted,
@@ -603,14 +633,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     enabled = configure(
         log_level=args.log_level,
         metrics=args.metrics_out is not None,
-        trace=args.trace_out is not None,
-        # Live progress for long runs; the reporter additionally
-        # requires stderr to be a TTY, so logs and pipes stay clean.
+        trace=(
+            args.trace_out is not None or args.trace_perfetto is not None
+        ),
+        timeseries=args.timeseries_out is not None,
+        # Live progress for long runs (a \r line on a TTY, rate-limited
+        # plain lines when stderr is redirected).
         progress=True,
     )
+    if enabled and args.timeseries_out is not None:
+        from repro.obs.timeseries import TelemetrySampler
+
+        OBS.sampler = TelemetrySampler()
     try:
         with use_policy(policy):
-            code = _dispatch(args)
+            # The root of the run's trace tree: every engine span and
+            # every worker's shard span is reachable from this one.
+            with span(f"repro.{args.command}"):
+                code = _dispatch(args)
         if policy is not None and policy.quarantined_total and code == EXIT_OK:
             quarantined = policy.quarantined_total
             completeness = policy.worst_completeness
@@ -650,10 +690,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         code = EXIT_USAGE
     finally:
         if enabled:
-            for path, write in (
+            writers = [
                 (args.metrics_out, OBS.registry.dump_json),
                 (args.trace_out, OBS.trace.write_jsonl),
-            ):
+            ]
+            if args.timeseries_out is not None and OBS.sampler is not None:
+                # Force one final sample so even a run too short for the
+                # sampling interval exports at least one data point.
+                OBS.sampler.maybe_sample(force=True)
+                writers.append((args.timeseries_out, OBS.sampler.write_jsonl))
+            if args.trace_perfetto is not None:
+                from repro.obs.exporters import write_chrome_trace
+
+                writers.append((
+                    args.trace_perfetto,
+                    lambda path: write_chrome_trace(
+                        path, OBS.trace.to_records()
+                    ),
+                ))
+            for path, write in writers:
                 if path:
                     try:
                         write(path)

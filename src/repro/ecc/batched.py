@@ -36,11 +36,23 @@ from typing import List, Sequence, TYPE_CHECKING
 import numpy as np
 
 from repro.ecc.secded import DecodeOutcome
-from repro.obs import OBS
+from repro.obs import OBS, span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.ecc.reed_solomon import ReedSolomonCode
     from repro.ecc.secded import SECDEDCode
+
+#: Bucket bounds of the ``ecc.batched.batch_words`` histogram: tiny
+#: batches mean the caller is paying dispatch overhead per word, which
+#: is exactly what the batched kernels exist to amortise.
+_BATCH_BUCKETS = (64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+
+def _observe_batch(num_words: int) -> None:
+    """Record one kernel invocation's batch size (enabled paths only)."""
+    OBS.registry.histogram(
+        "ecc.batched.batch_words", buckets=_BATCH_BUCKETS
+    ).observe(float(num_words))
 
 
 class BatchOutcome(enum.IntEnum):
@@ -308,9 +320,12 @@ class BatchedCode:
     def encode(self, data_bits: np.ndarray) -> np.ndarray:
         """Encode a ``(N, k)`` data-bit batch into ``(N, n)`` codewords."""
         data = self._as_batch(data_bits, self.k)
-        if OBS.enabled:
-            OBS.registry.counter("ecc.batched.encoded_words").inc(len(data))
-        return ((data.astype(np.int32) @ self._G) & 1).astype(np.uint8)
+        if not OBS.enabled:
+            return ((data.astype(np.int32) @ self._G) & 1).astype(np.uint8)
+        OBS.registry.counter("ecc.batched.encoded_words").inc(len(data))
+        _observe_batch(len(data))
+        with span("ecc.batched.encode_s", words=len(data)):
+            return ((data.astype(np.int32) @ self._G) & 1).astype(np.uint8)
 
     def syndromes(self, word_bits: np.ndarray) -> np.ndarray:
         """Packed integer syndrome of every word in a ``(N, n)`` batch."""
@@ -375,6 +390,12 @@ class BatchedCode:
         num = words.shape[0]
         if OBS.enabled:
             OBS.registry.counter("ecc.batched.decoded_words").inc(num)
+            _observe_batch(num)
+        with span("ecc.batched.decode_s", words=num):
+            return self._decode_batch(words, num)
+
+    def _decode_batch(self, words: np.ndarray, num: int) -> BatchDecodeResult:
+        """The decode body (split out so the span wraps exactly it)."""
         syndromes = self.syndromes(words)
         corrected_bit = self.matrices.syndrome_lut[syndromes]
         outcome = np.full(
@@ -406,14 +427,17 @@ class BatchedCode:
         and the silent valid-codeword case, i.e. the SDC population.
         """
         truth = self._as_batch(true_data_bits, self.k)
-        result = self.decode(word_bits)
-        if truth.shape[0] != result.data.shape[0]:
-            raise ValueError("truth batch does not match word batch length")
-        wrong = (result.data != truth).any(axis=1)
-        outcome = result.outcome.copy()
-        accepted = outcome != BatchOutcome.DETECTED_UNCORRECTABLE
-        outcome[accepted & wrong] = BatchOutcome.MISCORRECTED
-        return outcome
+        with span("ecc.batched.classify_s", words=truth.shape[0]):
+            result = self.decode(word_bits)
+            if truth.shape[0] != result.data.shape[0]:
+                raise ValueError(
+                    "truth batch does not match word batch length"
+                )
+            wrong = (result.data != truth).any(axis=1)
+            outcome = result.outcome.copy()
+            accepted = outcome != BatchOutcome.DETECTED_UNCORRECTABLE
+            outcome[accepted & wrong] = BatchOutcome.MISCORRECTED
+            return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -462,6 +486,7 @@ class BatchedRSSyndromes:
         symbols = self._as_symbols(received)
         if OBS.enabled:
             OBS.registry.counter("ecc.batched.rs_words").inc(len(symbols))
+            _observe_batch(len(symbols))
         logs = self._log[symbols]  # placeholder at zero symbols, masked below
         exponents = (logs[:, None, :] + self._log_points[None, :, :]) % (
             self._order

@@ -324,6 +324,15 @@ def _run_campaign_shards(
     """
     policy = runtime if runtime is not None else current_policy()
     reporter = progress(trials, f"campaign {kind}")
+
+    def _shard_done(i: int) -> None:
+        """Progress + live telemetry after each completed shard."""
+        reporter.update(shards[i][1])
+        if OBS.enabled:
+            OBS.registry.counter("campaign.trials_done").inc(shards[i][1])
+            if OBS.sampler is not None:
+                OBS.sampler.maybe_sample()
+
     try:
         if policy is not None:
             results, _outcome = run_resilient(
@@ -334,14 +343,14 @@ def _run_campaign_shards(
                 policy=policy,
                 encode=lambda r: r.to_payload(),
                 decode=CampaignResult.from_payload,
-                on_shard_done=lambda i: reporter.update(shards[i][1]),
+                on_shard_done=_shard_done,
             )
             return results
         return run_sharded(
             shard_fn,
             shard_args,
             workers=workers,
-            on_shard_done=lambda i: reporter.update(shards[i][1]),
+            on_shard_done=_shard_done,
         )
     finally:
         reporter.close()
@@ -582,4 +591,7 @@ def _observe_campaign(
         OBS.registry.gauge(f"campaign.{kind}.reads_per_s").set(
             result.total / elapsed_s
         )
+    if OBS.sampler is not None:
+        # Guaranteed final data point for the time-series export.
+        OBS.sampler.maybe_sample(force=True)
     log.info("campaign %s: %s", kind, result.format_summary(by_granularity=False))

@@ -33,6 +33,7 @@ import multiprocessing
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import OBS
+from repro.obs.tracing import TraceContext, current_context, shard_span
 
 __all__ = [
     "Shard",
@@ -66,8 +67,11 @@ def pool_context() -> multiprocessing.context.BaseContext:
 #: A shard is a half-open range of global indices: (start, count).
 Shard = Tuple[int, int]
 
-#: Payload handed to a pool worker: (shard_fn, args, obs_enabled).
-_WorkerPayload = Tuple[Callable[..., Any], Tuple[Any, ...], bool]
+#: Payload handed to a pool worker:
+#: (shard_fn, args, obs_enabled, trace_ctx, shard_index).
+_WorkerPayload = Tuple[
+    Callable[..., Any], Tuple[Any, ...], bool, Optional[TraceContext], int
+]
 
 
 def plan_shards(total: int, shard_size: int) -> List[Shard]:
@@ -113,13 +117,17 @@ def _run_worker_payload(payload: _WorkerPayload):
     The worker's observability mirrors the parent's ``enabled`` flag at
     dispatch time, but starts from a zeroed registry/trace so whatever
     it returns is exactly this shard's delta.  Progress is parent-owned
-    and therefore disabled here.
+    and therefore disabled here.  Execution is wrapped in a
+    :func:`~repro.obs.tracing.shard_span` parented to the dispatcher's
+    shipped context, so the worker's trace records graft back into the
+    parent's tree when the delta is folded.
     """
-    shard_fn, args, obs_enabled = payload
+    shard_fn, args, obs_enabled, ctx, index = payload
     OBS.reset()
     OBS.enabled = obs_enabled
     OBS.progress_enabled = False
-    result = shard_fn(*args)
+    with shard_span(ctx, index):
+        result = shard_fn(*args)
     if obs_enabled:
         return result, OBS.registry.state(), OBS.trace.to_records()
     return result, None, None
@@ -139,18 +147,26 @@ def run_sharded(
     Results are returned **in plan order** either way, so callers can
     merge them deterministically.  ``on_shard_done(shard_index)`` fires
     after each shard completes (progress reporting).
+
+    Each shard runs inside a :func:`~repro.obs.tracing.shard_span`
+    parented to the caller's current span (``<parent>.s<i>``).  The
+    span IDs derive from the shard plan, so the assembled trace tree is
+    identical for any worker count.
     """
     workers = validate_workers(workers)
+    ctx = current_context()
     results: List[Any] = []
     if workers == 1 or len(shard_args) <= 1:
         for i, args in enumerate(shard_args):
-            results.append(shard_fn(*args))
+            with shard_span(ctx, i):
+                results.append(shard_fn(*args))
             if on_shard_done is not None:
                 on_shard_done(i)
         return results
 
     payloads: List[_WorkerPayload] = [
-        (shard_fn, tuple(args), OBS.enabled) for args in shard_args
+        (shard_fn, tuple(args), OBS.enabled, ctx, i)
+        for i, args in enumerate(shard_args)
     ]
     processes = min(workers, len(payloads))
     metric_states: List[Dict] = []

@@ -34,7 +34,7 @@ from repro.faultsim.vectorized import (
     system_rng,
     validate_faultsim_backend,
 )
-from repro.obs import OBS, events, get_logger
+from repro.obs import OBS, events, get_logger, span
 from repro.obs.progress import progress
 from repro.runtime.checkpoint import RunFingerprint, config_digest
 from repro.runtime.executor import RuntimePolicy, current_policy, run_resilient
@@ -466,27 +466,43 @@ def simulate(
     policy = runtime if runtime is not None else current_policy()
     started = perf_counter()
     reporter = progress(config.num_systems, f"reliability {scheme.name}")
+
+    def _shard_done(i: int) -> None:
+        """Progress + live telemetry after each completed shard."""
+        reporter.update(shards[i][1])
+        if OBS.enabled:
+            OBS.registry.counter("faultsim.systems_done").inc(shards[i][1])
+            if OBS.sampler is not None:
+                OBS.sampler.maybe_sample()
+
     try:
-        if policy is not None:
-            shard_results, _outcome = run_resilient(
-                _simulate_shard,
-                shard_args,
-                workers=workers,
-                fingerprint=reliability_fingerprint(
-                    scheme, config, shard_size
-                ),
-                policy=policy,
-                encode=lambda r: r.to_payload(),
-                decode=ReliabilityResult.from_payload,
-                on_shard_done=lambda i: reporter.update(shards[i][1]),
-            )
-        else:
-            shard_results = run_sharded(
-                _simulate_shard,
-                shard_args,
-                workers=workers,
-                on_shard_done=lambda i: reporter.update(shards[i][1]),
-            )
+        with span(
+            "faultsim.simulate",
+            scheme=scheme.name,
+            backend=config.faultsim_backend,
+            systems=config.num_systems,
+            workers=workers,
+        ):
+            if policy is not None:
+                shard_results, _outcome = run_resilient(
+                    _simulate_shard,
+                    shard_args,
+                    workers=workers,
+                    fingerprint=reliability_fingerprint(
+                        scheme, config, shard_size
+                    ),
+                    policy=policy,
+                    encode=lambda r: r.to_payload(),
+                    decode=ReliabilityResult.from_payload,
+                    on_shard_done=_shard_done,
+                )
+            else:
+                shard_results = run_sharded(
+                    _simulate_shard,
+                    shard_args,
+                    workers=workers,
+                    on_shard_done=_shard_done,
+                )
     finally:
         reporter.close()
 
@@ -518,6 +534,9 @@ def simulate(
             )
         OBS.registry.gauge("faultsim.workers").set(workers)
         OBS.registry.timer("faultsim.simulate_s").observe(elapsed)
+        if OBS.sampler is not None:
+            # Guaranteed final data point for the time-series export.
+            OBS.sampler.maybe_sample(force=True)
         log.info(
             "%s: %d/%d systems failed in %.2fs "
             "(%d shards x %d systems, %d workers)",

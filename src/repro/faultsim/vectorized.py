@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Type
 import numpy as np
 
 from repro.faultsim.fault_models import FailureMode
+from repro.obs import OBS, span
 from repro.faultsim.schemes import (
     ChipkillScheme,
     DoubleChipkillScheme,
@@ -458,6 +459,8 @@ def _replay_xed_tail(
     and keeps the incumbent on time ties.  Draw order and branch
     structure mirror ``XedScheme.evaluate`` line for line.
     """
+    if OBS.enabled:
+        OBS.registry.counter("faultsim.vectorized.replayed_systems").inc()
     i0 = int(vis.indptr[s])
     i1 = int(vis.indptr[s + 1])
     modes = vis.mode[i0:i1].tolist()
@@ -554,6 +557,8 @@ def _replay_xed_chipkill(
     ``miss(a) or miss(b)`` draw pattern) is reproduced so the returned
     failure overrides the vectorized triple result for this system.
     """
+    if OBS.enabled:
+        OBS.registry.counter("faultsim.vectorized.replayed_systems").inc()
     i0 = int(vis.indptr[s])
     i1 = int(vis.indptr[s + 1])
     channel = vis.channel[i0:i1].tolist()
@@ -672,7 +677,21 @@ def adjudicate_shard(
             f"{type(scheme).__name__}; use faultsim_backend='scalar'"
         )
     vis = shard.visible()
-    kinds, times = kernel(scheme, shard, vis, experiment_seed)
+    if OBS.enabled:
+        OBS.registry.counter("faultsim.vectorized.shards").inc()
+        OBS.registry.counter("faultsim.vectorized.systems").inc(
+            vis.num_selected
+        )
+        OBS.registry.histogram(
+            "faultsim.vectorized.batch_systems",
+            buckets=(100, 1_000, 10_000, 100_000, 1_000_000),
+        ).observe(float(vis.num_selected))
+    with span(
+        "faultsim.vectorized.adjudicate_s",
+        scheme=type(scheme).__name__,
+        systems=int(vis.num_selected),
+    ):
+        kinds, times = kernel(scheme, shard, vis, experiment_seed)
     failed = np.nonzero(kinds != _KIND_NONE)[0].tolist()
     selected = shard.selected
     return ShardAdjudication(

@@ -10,12 +10,24 @@ are telemetry worth exposing -- onto the reproduction itself:
   erasure reconstructions, serial retries, diagnosis runs, scrub
   passes, trial outcomes, classified reads) in a bounded ring buffer
   with JSON-lines export (``--trace-out``).
+* :mod:`repro.obs.tracing` -- hierarchical spans with deterministic
+  dotted IDs and a picklable :class:`TraceContext` for cross-process
+  propagation; the sharded executors ship it so one campaign run yields
+  one coherent trace tree across all workers.
 * :mod:`repro.obs.runtime` -- the global :data:`OBS` switchboard plus
   the :func:`span` / :func:`timed` profiling hooks.  Everything is
   **disabled by default**; instrumentation sites cost one attribute
   load until the CLI (or a test) flips ``OBS.enabled``.
-* :mod:`repro.obs.progress` -- a TTY-only live progress line for long
-  reliability/campaign runs.
+* :mod:`repro.obs.timeseries` -- a rate-limited
+  :class:`TelemetrySampler` that snapshots counters/gauges plus derived
+  rates, latency quantiles and RSS (``--timeseries-out``).
+* :mod:`repro.obs.exporters` -- Chrome trace-event / Perfetto export of
+  the span tree (``--trace-perfetto``).
+* :mod:`repro.obs.progress` -- a live progress line for long
+  reliability/campaign runs (``\\r`` on a TTY, rate-limited plain lines
+  otherwise).
+* :mod:`repro.obs.cli` -- the ``repro obs`` subcommands (``summarize``,
+  ``inspect``, ``diff``) for post-run analysis of exported artefacts.
 
 This layer depends on nothing inside ``repro`` (and nothing outside the
 standard library), so every other layer may import it freely.
@@ -34,10 +46,13 @@ from repro.obs.events import (
     SerialRetry,
     ShardQuarantined,
     ShardRetried,
+    SpanClosed,
     TraceEvent,
     TrialCompleted,
     read_jsonl,
 )
+from repro.obs.exporters import span_records, to_chrome_trace, write_chrome_trace
+from repro.obs.fsio import atomic_write_text
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -47,6 +62,8 @@ from repro.obs.metrics import (
 )
 from repro.obs.progress import ProgressReporter, progress
 from repro.obs.runtime import OBS, Observability, configure, get_logger, span, timed
+from repro.obs.timeseries import TelemetrySampler, peak_rss_kb, read_timeseries
+from repro.obs.tracing import TraceContext, current_context, shard_span
 from repro.obs import events
 
 __all__ = [
@@ -56,13 +73,20 @@ __all__ = [
     "get_logger",
     "span",
     "timed",
+    "TraceContext",
+    "current_context",
+    "shard_span",
     "Counter",
     "Gauge",
     "Histogram",
     "Timer",
     "MetricsRegistry",
+    "TelemetrySampler",
+    "peak_rss_kb",
+    "read_timeseries",
     "EventTrace",
     "TraceEvent",
+    "SpanClosed",
     "CatchWordDetected",
     "ErasureReconstruction",
     "SerialRetry",
@@ -76,6 +100,10 @@ __all__ = [
     "RunSignalled",
     "ReplayedEvent",
     "read_jsonl",
+    "span_records",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "atomic_write_text",
     "ProgressReporter",
     "progress",
     "events",

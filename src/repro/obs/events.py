@@ -24,8 +24,11 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.fsio import atomic_write_text
+
 __all__ = [
     "TraceEvent",
+    "SpanClosed",
     "CatchWordDetected",
     "ErasureReconstruction",
     "SerialRetry",
@@ -58,6 +61,32 @@ class TraceEvent:
         record: Dict[str, object] = {"event": self.kind}
         record.update(asdict(self))
         return record
+
+
+@dataclass
+class SpanClosed(TraceEvent):
+    """One completed span of the hierarchical trace tree.
+
+    ``span_id``/``parent_id`` are deterministic dotted paths assigned by
+    :mod:`repro.obs.tracing` (``"0"``, ``"0.1"``, ``"0.1.s3"`` ...), so
+    the tree a run produces is identical for any worker count; only the
+    timing fields (``start_ts``, ``duration_s``), ``trace_id`` and
+    ``pid`` vary between executions.  The flat ``attrs`` dict carries
+    span-specific labels (shard index, scheme name, attempt number) and
+    must stay JSON-serialisable -- these records are what the JSONL and
+    Perfetto exporters ship.
+    """
+
+    kind = "span"
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start_ts: float
+    duration_s: float
+    pid: int
+    attrs: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -323,9 +352,14 @@ class EventTrace:
         return "\n".join(lines) + "\n"
 
     def write_jsonl(self, path: str) -> None:
-        """Write the buffer to ``path`` as JSON lines."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_jsonl())
+        """Write the buffer to ``path`` as JSON lines (atomically).
+
+        Uses write-temp-then-rename (:func:`repro.obs.fsio.
+        atomic_write_text`) so a signal landing mid-export -- the end of
+        a run is exactly when SIGTERM arrives -- cannot leave a
+        truncated trace file for ``repro obs summarize`` to choke on.
+        """
+        atomic_write_text(path, self.to_jsonl())
 
 
 def read_jsonl(path: str) -> List[Dict[str, object]]:

@@ -1,0 +1,48 @@
+"""Atomic file output for every observability export.
+
+``--metrics-out``, ``--trace-out``, the Perfetto export and the
+time-series log are all written at the very end of a run -- exactly when
+a SIGTERM (CI job cancellation, container eviction) is most likely to
+land.  A plain ``open(path, "w")`` killed mid-write leaves a truncated
+JSON document that silently poisons downstream tooling (``repro obs
+summarize``, the perf-regression comparator).
+
+:func:`atomic_write_text` therefore uses the same idiom as
+:mod:`repro.runtime.checkpoint`: write the full payload to a temporary
+sibling file, ``fsync``, then ``os.replace`` onto the destination.  A
+reader observes either the previous complete file or the new complete
+file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via write-temp-then-``os.replace``.
+
+    The temporary file is created in the destination directory (rename
+    is only atomic within a filesystem) and cleaned up on any failure,
+    so an interrupted export can never leave either a truncated target
+    or stray temp files behind.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise

@@ -25,6 +25,8 @@ import math
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.fsio import atomic_write_text
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -135,6 +137,43 @@ class Histogram:
     def mean(self) -> float:
         """Mean of all observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        The classic Prometheus-style estimator: find the bucket where
+        the cumulative count crosses ``q * count`` and interpolate
+        linearly inside it, clamping the outermost edges to the exact
+        tracked ``min``/``max`` so the estimate never leaves the
+        observed range.  Deterministic (pure arithmetic on the counts),
+        which is what lets the time-series sampler and ``repro obs
+        summarize`` report p50/p95/p99 reproducibly.  Returns ``None``
+        for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        if target <= 0:
+            return self.min
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = self.buckets[i - 1] if i > 0 else self.min
+                hi = (
+                    self.buckets[i]
+                    if i < len(self.buckets)
+                    else self.max
+                )
+                lo = min(max(lo, self.min), self.max)
+                hi = min(max(hi, self.min), self.max)
+                fraction = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * fraction
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - cumulative always crosses
 
     def reset(self) -> None:
         """Forget all samples."""
@@ -317,11 +356,33 @@ class MetricsRegistry:
         for name, timer_state in state.get("timers", {}).items():
             self.timer(name, timer_state["buckets"]).merge_state(timer_state)
 
+    def timer_quantiles(
+        self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, Dict[str, float]]:
+        """Estimated quantiles for every non-empty timer.
+
+        Returns ``{timer_name: {"p50": ..., "p95": ..., "p99": ...}}``
+        (keys derived from ``qs``); the time-series sampler embeds this
+        in every sample so shard-latency percentiles are trackable over
+        the course of a run, not just at the end.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name, timer in sorted(self._timers.items()):
+            if timer.count == 0:
+                continue
+            out[name] = {
+                f"p{round(q * 100):d}": timer.quantile(q) for q in qs
+            }
+        return out
+
     def dump_json(self, path: str, indent: int = 2) -> None:
-        """Write the snapshot as one JSON document (``--metrics-out``)."""
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.snapshot(), fh, indent=indent, sort_keys=True)
-            fh.write("\n")
+        """Write the snapshot as one JSON document (``--metrics-out``).
+
+        The write is atomic (temp file + rename) so an export cut short
+        by SIGTERM never leaves a truncated document behind.
+        """
+        text = json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+        atomic_write_text(path, text + "\n")
 
     def reset(self) -> None:
         """Zero every registered metric (registrations survive)."""

@@ -1,15 +1,24 @@
-"""A live, rate-limited progress line for long-running loops.
+"""A live progress line for long-running loops (TTY and plain modes).
 
 Long ``repro reliability`` / ``repro campaign`` runs previously went
-dark for minutes; this reporter keeps a single ``\\r``-rewritten line on
-stderr with completion fraction and throughput:
+dark for minutes; this reporter keeps progress visible in two modes:
 
-``reliability xed:  120,000/200,000 (60.0%)  48.3k/s``
+* **TTY** (interactive shells): a single ``\\r``-rewritten line on
+  stderr with completion fraction and throughput, redrawn at most every
+  ``min_interval_s``::
 
-It is inert unless *both* the global switch
-(:attr:`repro.obs.runtime.Observability.progress_enabled`) is on *and*
-the stream is a TTY -- so CI logs, piped output and the test suite never
-see control characters.  Pass ``enabled=True`` to force (tests do).
+      reliability xed:  120,000/200,000 (60.0%)  48.3k/s
+
+* **Plain** (CI logs, redirected/piped output): the same line as an
+  ordinary newline-terminated record, rate-limited to one line per
+  ``fallback_interval_s`` plus a final line at close -- so a redirected
+  campaign shows its trajectory instead of silence, without spraying
+  control characters into logs.
+
+Both modes are inert unless the global switch
+(:attr:`repro.obs.runtime.Observability.progress_enabled`) is on --
+only the CLI flips it, so library users and the test suite stay quiet
+by default.  Pass ``enabled=True``/``False`` to force.
 """
 
 from __future__ import annotations
@@ -22,9 +31,12 @@ from repro.obs.runtime import OBS
 
 __all__ = ["ProgressReporter", "progress"]
 
+#: Minimum spacing of plain-mode (non-TTY) progress lines, seconds.
+DEFAULT_FALLBACK_INTERVAL_S = 10.0
+
 
 class ProgressReporter:
-    """Counts completed units and redraws at most every ``min_interval_s``."""
+    """Counts completed units and redraws on a rate-limited clock."""
 
     def __init__(
         self,
@@ -32,19 +44,30 @@ class ProgressReporter:
         label: str,
         stream: Optional[TextIO] = None,
         min_interval_s: float = 0.2,
+        fallback_interval_s: float = DEFAULT_FALLBACK_INTERVAL_S,
         enabled: Optional[bool] = None,
     ) -> None:
         self.total = max(0, int(total))
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval_s = min_interval_s
+        self.fallback_interval_s = fallback_interval_s
+        self.tty = _is_tty(self.stream)
         if enabled is None:
-            enabled = OBS.progress_enabled and _is_tty(self.stream)
+            enabled = OBS.progress_enabled
         self.enabled = enabled
         self.done = 0
         self._start = perf_counter()
-        self._last_draw = 0.0
+        # Plain mode waits a full interval before its first line (a
+        # short run should produce only the final close() line); a TTY
+        # draws immediately.
+        self._last_draw = self._start if not self.tty else 0.0
         self._drew_anything = False
+
+    @property
+    def _interval_s(self) -> float:
+        """The redraw spacing for the active mode."""
+        return self.min_interval_s if self.tty else self.fallback_interval_s
 
     def update(self, n: int = 1) -> None:
         """Advance the progress count by ``n`` and maybe redraw."""
@@ -52,7 +75,7 @@ class ProgressReporter:
         if not self.enabled:
             return
         now = perf_counter()
-        if now - self._last_draw >= self.min_interval_s:
+        if now - self._last_draw >= self._interval_s:
             self._draw(now)
 
     def set(self, done: int) -> None:
@@ -60,13 +83,20 @@ class ProgressReporter:
         self.update(done - self.done)
 
     def close(self) -> None:
-        """Draw the final state and terminate the line."""
+        """Draw the final state and terminate the line.
+
+        In plain mode this is what guarantees at least one progress
+        record per run in a CI log, however short the run was.
+        """
         if not self.enabled:
             return
-        self._draw(perf_counter())
-        if self._drew_anything:
-            self.stream.write("\n")
-            self.stream.flush()
+        if self.tty:
+            self._draw(perf_counter())
+            if self._drew_anything:
+                self.stream.write("\n")
+                self.stream.flush()
+        elif self.done > 0 or self._drew_anything:
+            self._draw(perf_counter())
 
     def __enter__(self) -> "ProgressReporter":
         return self
@@ -74,19 +104,24 @@ class ProgressReporter:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _draw(self, now: float) -> None:
-        self._last_draw = now
+    def _format_line(self, now: float) -> str:
         elapsed = now - self._start
         rate = self.done / elapsed if elapsed > 0 else 0.0
         if self.total:
             pct = 100.0 * self.done / self.total
-            line = (
+            return (
                 f"{self.label}: {self.done:,}/{self.total:,} "
                 f"({pct:.1f}%)  {_fmt_rate(rate)}"
             )
+        return f"{self.label}: {self.done:,}  {_fmt_rate(rate)}"
+
+    def _draw(self, now: float) -> None:
+        self._last_draw = now
+        line = self._format_line(now)
+        if self.tty:
+            self.stream.write("\r" + line.ljust(78))
         else:
-            line = f"{self.label}: {self.done:,}  {_fmt_rate(rate)}"
-        self.stream.write("\r" + line.ljust(78))
+            self.stream.write(line + "\n")
         self.stream.flush()
         self._drew_anything = True
 

@@ -18,20 +18,25 @@ attribute load per site -- measured well under the 5% budget on
 assignment, so enabling mid-run affects every already-constructed
 controller/simulator immediately; nothing caches it.
 
-``span()`` and ``@timed`` feed :class:`repro.obs.metrics.Timer`
-histograms and are no-ops while disabled.
+``span()`` (re-exported from :mod:`repro.obs.tracing`, where it grew
+trace-tree semantics) and ``@timed`` feed
+:class:`repro.obs.metrics.Timer` histograms and are no-ops while
+disabled.
 """
 
 from __future__ import annotations
 
 import functools
 import logging
-from contextlib import contextmanager
 from time import perf_counter
-from typing import Callable, Iterator, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
 from repro.obs.events import DEFAULT_CAPACITY, EventTrace, TraceEvent
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.timeseries import TelemetrySampler
 
 __all__ = ["Observability", "OBS", "configure", "span", "timed", "get_logger"]
 
@@ -51,6 +56,9 @@ class Observability:
         self.progress_enabled = False
         self.registry = MetricsRegistry()
         self.trace = EventTrace()
+        #: Optional time-series sampler (installed by the CLI for
+        #: ``--timeseries-out``; engines call ``maybe_sample`` on it).
+        self.sampler: Optional["TelemetrySampler"] = None
 
     def enable(self, trace_capacity: Optional[int] = None) -> None:
         """Turn instrumentation on (optionally resizing the trace)."""
@@ -64,9 +72,11 @@ class Observability:
         self.progress_enabled = False
 
     def reset(self) -> None:
-        """Zero metrics and clear the trace (switches untouched)."""
+        """Zero metrics, clear the trace, drop any sampler (switches
+        untouched)."""
         self.registry.reset()
         self.trace.clear()
+        self.sampler = None
 
     def emit(self, event: TraceEvent) -> None:
         """Record one event iff enabled (convenience for cold paths)."""
@@ -91,6 +101,7 @@ def configure(
     trace: bool = False,
     trace_capacity: Optional[int] = None,
     progress: Optional[bool] = None,
+    timeseries: bool = False,
 ) -> bool:
     """Set up the global observability state (the CLI entry point).
 
@@ -100,7 +111,7 @@ def configure(
     reset so back-to-back CLI invocations in one process (tests) do not
     bleed into each other.
     """
-    wants = bool(log_level or metrics or trace)
+    wants = bool(log_level or metrics or trace or timeseries)
     if log_level:
         logger = logging.getLogger(LOGGER_NAME)
         logger.setLevel(log_level.upper())
@@ -116,19 +127,6 @@ def configure(
     if progress is not None:
         OBS.progress_enabled = progress
     return wants
-
-
-@contextmanager
-def span(name: str) -> Iterator[None]:
-    """Time a block into the ``name`` timer histogram (no-op if disabled)."""
-    if not OBS.enabled:
-        yield
-        return
-    start = perf_counter()
-    try:
-        yield
-    finally:
-        OBS.registry.timer(name).observe(perf_counter() - start)
 
 
 def timed(name: Optional[str] = None) -> Callable[[F], F]:

@@ -50,6 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.obs import OBS, events
 from repro.obs.events import EventTrace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceContext, current_context, shard_span
 from repro.runtime.chaos import ChaosCrash, ChaosHang, ChaosPolicy
 from repro.runtime.checkpoint import CheckpointStore, RunFingerprint, ShardRecord
 
@@ -243,7 +244,11 @@ def current_policy() -> Optional[RuntimePolicy]:
 # ---------------------------------------------------------------------------
 
 def _run_shard_captured(
-    shard_fn: Callable[..., Any], args: Tuple[Any, ...]
+    shard_fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+    ctx: Optional[TraceContext] = None,
+    index: int = 0,
+    attempt: int = 1,
 ) -> Tuple[Any, Optional[Dict], Optional[List[Dict]]]:
     """Run one shard in-process, capturing its obs delta in isolation.
 
@@ -251,7 +256,10 @@ def _run_shard_captured(
     registry/trace and returns its delta, so (a) checkpoints carry
     exactly this shard's telemetry and (b) a failed attempt's partial
     metrics are discarded rather than double-counted on retry -- the
-    same all-or-nothing semantics as a crashed worker process.
+    same all-or-nothing semantics as a crashed worker process.  The
+    shard's :func:`~repro.obs.tracing.shard_span` opens inside the
+    captured delta so only successful attempts contribute spans --
+    exactly like a pool worker, whose delta dies with it on failure.
     """
     if not OBS.enabled:
         return shard_fn(*args), None, None
@@ -259,7 +267,8 @@ def _run_shard_captured(
     OBS.registry = MetricsRegistry()
     OBS.trace = EventTrace(capacity=saved_trace.capacity)
     try:
-        result = shard_fn(*args)
+        with shard_span(ctx, index, attempt=attempt):
+            result = shard_fn(*args)
         return result, OBS.registry.state(), OBS.trace.to_records()
     finally:
         OBS.registry, OBS.trace = saved_registry, saved_trace
@@ -270,15 +279,18 @@ def _resilient_worker(payload: Tuple) -> Tuple[int, Any, Optional[Dict], Optiona
 
     Mirrors ``parallel._run_worker_payload`` but additionally knows the
     shard's plan index and attempt number so a :class:`ChaosPolicy` can
-    target "shard 3, first attempt" deterministically.
+    target "shard 3, first attempt" deterministically, and the attempt
+    number is encoded into the shard span's ID (``s<i>a<n>``) so
+    retried executions are distinguishable in the trace tree.
     """
-    index, attempt, shard_fn, args, obs_enabled, chaos = payload
+    index, attempt, shard_fn, args, obs_enabled, chaos, ctx = payload
     if chaos is not None:
         chaos.apply_in_worker(index, attempt)
     OBS.reset()
     OBS.enabled = obs_enabled
     OBS.progress_enabled = False
-    result = shard_fn(*args)
+    with shard_span(ctx, index, attempt=attempt):
+        result = shard_fn(*args)
     if obs_enabled:
         return index, result, OBS.registry.state(), OBS.trace.to_records()
     return index, result, None, None
@@ -373,6 +385,10 @@ class _ResilientRun:
         self.outcome = RunOutcome(
             kind=fingerprint.kind, total_shards=len(self.shard_args)
         )
+        #: Trace parent for every shard span, captured at construction
+        #: (dispatch) time so both execution paths and every retry graft
+        #: onto the same node of the caller's trace tree.
+        self.trace_ctx = current_context()
         self.results: Dict[int, Any] = {}
         self.telemetry: Dict[int, Tuple[Optional[Dict], Optional[List[Dict]]]] = {}
         self.failures: Dict[int, int] = {}
@@ -512,7 +528,11 @@ class _ResilientRun:
                     if chaos is not None:
                         chaos.apply_in_process(index, attempt)
                     result, metrics, trace = _run_shard_captured(
-                        self.shard_fn, self.shard_args[index]
+                        self.shard_fn,
+                        self.shard_args[index],
+                        ctx=self.trace_ctx,
+                        index=index,
+                        attempt=attempt,
                     )
                 except ChaosHang:
                     delay = self._register_failure(index, "timeout")
@@ -541,6 +561,7 @@ class _ResilientRun:
                 self.shard_args[index],
                 OBS.enabled,
                 self.policy.chaos,
+                self.trace_ctx,
             ),
         )
         timeout = self.policy.shard_timeout_s

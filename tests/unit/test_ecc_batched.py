@@ -221,3 +221,65 @@ class TestBatchedRSSyndromes:
             )
         with pytest.raises(ValueError):
             batched.syndromes(np.full((1, rs.n), -1, dtype=np.int64))
+
+
+class TestInstrumentation:
+    """The OBS-enabled paths: counters, batch-size histogram, spans."""
+
+    @pytest.fixture(autouse=True)
+    def _obs(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+        yield OBS
+        OBS.disable()
+        OBS.reset()
+
+    @pytest.fixture
+    def batched(self):
+        from repro.ecc import HammingSECDED
+
+        return HammingSECDED().batched()
+
+    def test_encode_decode_counters_and_spans(self, _obs, batched):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, size=(40, batched.k), dtype=np.uint8)
+        words = batched.encode(data)
+        batched.decode(words)
+        batched.is_codeword(words)
+        snap = _obs.registry.snapshot()
+        assert snap["counters"]["ecc.batched.encoded_words"] == 40
+        assert snap["counters"]["ecc.batched.decoded_words"] == 40
+        assert snap["counters"]["ecc.batched.checked_words"] == 40
+        assert snap["histograms"]["ecc.batched.batch_words"]["count"] == 2
+        assert snap["timers"]["ecc.batched.encode_s"]["count"] == 1
+        assert snap["timers"]["ecc.batched.decode_s"]["count"] == 1
+
+    def test_classify_span_wraps_decode(self, _obs, batched):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 2, size=(8, batched.k), dtype=np.uint8)
+        words = batched.encode(data)
+        batched.classify(words, data)
+        timers = _obs.registry.snapshot()["timers"]
+        assert timers["ecc.batched.classify_s"]["count"] == 1
+        assert timers["ecc.batched.decode_s"]["count"] == 1
+
+    def test_disabled_records_nothing(self, _obs, batched):
+        _obs.disable()
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2, size=(8, batched.k), dtype=np.uint8)
+        batched.decode(batched.encode(data))
+        counters = _obs.registry.snapshot()["counters"]
+        assert all(v == 0 for v in counters.values())
+
+    def test_rs_syndromes_counter(self, _obs):
+        from repro.ecc import ReedSolomonCode
+
+        rs = ReedSolomonCode.chipkill(16)
+        batched = BatchedRSSyndromes(rs)
+        clean = list(rs.encode([7] * rs.k))
+        batched.syndromes(np.array([clean, clean], dtype=np.int64))
+        snap = _obs.registry.snapshot()
+        assert snap["counters"]["ecc.batched.rs_words"] == 2
+        assert snap["histograms"]["ecc.batched.batch_words"]["count"] == 1

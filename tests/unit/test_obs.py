@@ -257,8 +257,43 @@ class TestProgressReporter:
         assert "/s" in out
         assert out.endswith("\n")
 
-    def test_non_tty_default_stays_quiet(self):
+    def test_non_tty_uses_plain_mode(self):
         OBS.progress_enabled = True
         stream = io.StringIO()  # not a tty
         reporter = ProgressReporter(10, "x", stream=stream)
-        assert reporter.enabled is False
+        assert reporter.enabled is True
+        assert reporter.tty is False
+
+    def test_non_tty_rate_limits_then_final_line(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            10, "x", stream=stream, enabled=True, fallback_interval_s=3600.0
+        )
+        reporter.update(3)
+        reporter.update(4)
+        assert stream.getvalue() == ""  # inside the rate-limit window
+        reporter.close()
+        out = stream.getvalue()
+        assert out.count("\n") == 1  # exactly one final plain line
+        assert "x: 7/10 (70.0%)" in out
+        assert "\r" not in out  # no control characters in logs
+
+    def test_non_tty_interval_elapsed_emits_lines(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            10, "x", stream=stream, enabled=True, fallback_interval_s=0.0
+        )
+        reporter.update(2)
+        reporter.update(3)
+        reporter.close()
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 3
+        assert "x: 2/10" in lines[0]
+        assert "x: 5/10" in lines[1]
+        assert "x: 5/10" in lines[2]
+
+    def test_non_tty_empty_run_stays_silent(self):
+        stream = io.StringIO()
+        with ProgressReporter(0, "x", stream=stream, enabled=True):
+            pass
+        assert stream.getvalue() == ""
