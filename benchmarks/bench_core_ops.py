@@ -195,6 +195,47 @@ def test_faultsim_backend_speedup(benchmark):
     )
 
 
+def test_analytical_sweep_speedup(benchmark):
+    """Markov solver vs vectorized Monte-Carlo on a full Fig-7 sweep.
+
+    The sweep is the three Fig-7 schemes (ECC-DIMM, XED, Chipkill) at
+    the committed full-scale figure population (4e6 systems — see
+    EXPERIMENTS.md): the analytical backend answers it in tens of
+    milliseconds while the vectorized sampler pays per system.  The
+    acceptance floor is >= 100x; docs/theory.md is the accuracy
+    contract (Wilson-interval agreement, enforced by the differential
+    suite), this benchmark is the speed contract.
+    """
+    from repro.faultsim import ChipkillScheme, EccDimmScheme
+
+    schemes = [EccDimmScheme(), XedScheme(), ChipkillScheme()]
+    cfg = MonteCarloConfig(num_systems=4_000_000, seed=2016)
+    analytical_cfg = dataclasses.replace(cfg, faultsim_backend="analytical")
+
+    def analytical_sweep():
+        return [simulate(s, analytical_cfg) for s in schemes]
+
+    analytical_sweep()  # warm the geometry/SDC-fraction caches
+    benchmark.pedantic(analytical_sweep, rounds=3, iterations=1)
+    if not benchmark.stats:  # --benchmark-disable: nothing to compare
+        pytest.skip("benchmark timing disabled")
+    analytical_s = benchmark.stats.stats.min
+
+    vec_cfg = dataclasses.replace(cfg, faultsim_backend="vectorized")
+    start = time.perf_counter()
+    for s in schemes:
+        simulate(s, vec_cfg)
+    vectorized_s = time.perf_counter() - start
+
+    speedup = vectorized_s / analytical_s
+    benchmark.extra_info["vectorized_s"] = round(vectorized_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= 100.0, (
+        f"analytical Fig-7 sweep only {speedup:.0f}x faster than "
+        "vectorized Monte-Carlo at 4M systems (floor is 100x)"
+    )
+
+
 def test_monte_carlo_throughput(benchmark):
     """Systems simulated per benchmark round (20K XED lifetimes)."""
     cfg = MonteCarloConfig(num_systems=20_000, seed=3)

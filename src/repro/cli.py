@@ -6,6 +6,9 @@ Sub-commands mirror the library's layers:
 * ``repro experiment fig7 --scale quick`` -- regenerate one table/figure.
 * ``repro reliability --schemes xed chipkill --systems 200000`` --
   ad-hoc Monte-Carlo comparisons.
+* ``repro sweep --schemes xed chipkill --fit-scales 1 2 4 8`` --
+  instant analytical parameter sweeps (closed-form Markov solver,
+  milliseconds per cell; see docs/theory.md).
 * ``repro perf --workloads libquantum mcf --schemes ecc_dimm chipkill``
   -- ad-hoc performance/power grids.
 * ``repro collision --bits 32`` -- catch-word collision analytics.
@@ -120,14 +123,19 @@ def _add_faultsim_backend_flag(
     ``scalar`` walks per-system ChipFault lists (the golden model).
     The two are verified bit-identical by
     :mod:`repro.faultsim.differential`, and checkpoints written under
-    one backend resume under the other.
+    one backend resume under the other.  ``analytical`` solves the
+    closed-form Markov chain (:mod:`repro.faultsim.markov`) instead of
+    sampling: milliseconds per scheme, no sampling noise, validated
+    against Monte-Carlo within Wilson intervals (docs/theory.md).
     """
     parser.add_argument(
-        "--faultsim-backend", choices=("scalar", "vectorized"),
+        "--faultsim-backend",
+        choices=("scalar", "vectorized", "analytical"),
         default=default,
-        help="Monte-Carlo adjudication backend: batch numpy kernels "
-             "(vectorized, default) or per-system ChipFault walk "
-             "(scalar golden model); results are bit-identical",
+        help="fault-sim backend: batch numpy Monte-Carlo (vectorized, "
+             "default), per-system ChipFault walk (scalar golden "
+             "model; bit-identical to vectorized), or the closed-form "
+             "Markov solver (analytical; noise-free, Wilson-validated)",
     )
 
 
@@ -145,6 +153,21 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         help="systems/trials per shard (default: engine-chosen; "
              "changing it changes the RNG shard plan)",
     )
+
+def _scrub_interval(value: str) -> Optional[float]:
+    """argparse type for ``sweep --scrub-hours``: float > 0 or 'none'."""
+    if value.lower() in ("none", "off"):
+        return None
+    try:
+        hours = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid scrub interval {value!r}: expected hours or 'none'"
+        )
+    if hours <= 0:
+        raise argparse.ArgumentTypeError("scrub interval must be > 0 hours")
+    return hours
+
 
 def _timeout_seconds(value: str) -> float:
     """argparse type for ``--shard-timeout``: a float > 0 (seconds)."""
@@ -382,6 +405,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faultsim_backend_flag(exp_out)
     _add_runtime_flags(exp_out)
 
+    swp = add_parser(
+        "sweep", help="instant analytical parameter sweep (Markov solver)"
+    )
+    swp.add_argument(
+        "--schemes", nargs="+", default=["ecc_dimm", "xed", "chipkill"],
+        choices=sorted(RELIABILITY_SCHEMES),
+    )
+    swp.add_argument(
+        "--fit-scales", nargs="+", type=float, default=[1.0], metavar="X",
+        help="FIT-rate multipliers to sweep (e.g. 1 2 4 8)",
+    )
+    swp.add_argument(
+        "--scrub-hours", nargs="+", type=_scrub_interval, default=[None],
+        metavar="H", help="scrub intervals in hours; 'none' disables "
+        "scrubbing for that cell (default: none)",
+    )
+    swp.add_argument("--years", type=float, default=7.0)
+    swp.add_argument("--scaling-rate", type=float, default=0.0)
+    swp.add_argument(
+        "--mechanisms", action="store_true",
+        help="also print the per-cell failure-mechanism decomposition",
+    )
+    _add_ecc_backend_flag(swp)
+
     camp = add_parser("campaign", help="behavioural fault campaign")
     camp.add_argument("--kind", choices=("xed", "chipkill"), default="xed")
     camp.add_argument("--trials", type=int, default=30)
@@ -454,6 +501,55 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
             baseline_name=baseline,
         )
     )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro import faultsim
+
+    config = faultsim.MonteCarloConfig(
+        years=args.years,
+        scaling_rate=args.scaling_rate,
+        ecc_backend=args.ecc_backend,
+        faultsim_backend="analytical",
+    )
+    schemes = [
+        getattr(faultsim, RELIABILITY_SCHEMES[key])() for key in args.schemes
+    ]
+    started = perf_counter()
+    cells = faultsim.sweep(
+        schemes,
+        config,
+        fit_scales=args.fit_scales,
+        scrub_hours=args.scrub_hours,
+    )
+    elapsed_ms = (perf_counter() - started) * 1e3
+    print(
+        f"Analytical sweep: {len(cells)} cells in {elapsed_ms:.0f} ms "
+        f"({args.years:g} years, scaling rate {args.scaling_rate:g})"
+    )
+    print(
+        f"{'scheme':34s} {'fit x':>6s} {'scrub h':>8s} "
+        f"{'P(fail)':>10s} {'DUE':>10s} {'SDC':>10s}"
+    )
+    for cell in cells:
+        scrub = "none" if cell.scrub_hours is None else f"{cell.scrub_hours:g}"
+        r = cell.result
+        print(
+            f"{cell.scheme_name:34s} {cell.fit_scale:6g} {scrub:>8s} "
+            f"{r.probability_of_failure:10.3e} {r.due_probability:10.3e} "
+            f"{r.sdc_probability:10.3e}"
+        )
+    if args.mechanisms:
+        for cell in cells:
+            scrub = (
+                "none" if cell.scrub_hours is None else f"{cell.scrub_hours:g}"
+            )
+            print()
+            print(f"[fit x{cell.fit_scale:g}, scrub {scrub}]", end=" ")
+            print(cell.result.format_mechanisms())
     return 0
 
 
@@ -588,6 +684,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_experiment(args)
     if args.command == "reliability":
         return _cmd_reliability(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "perf":
         return _cmd_perf(args)
     if args.command == "collision":

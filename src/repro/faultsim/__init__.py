@@ -23,6 +23,9 @@ methodology:
   multiprocessing pool behind ``simulate(..., workers=N)``.
 * :mod:`repro.faultsim.analytical` -- closed-form models behind Figure 6
   (collisions), Table III (multi catch-words) and Table IV (SDC/DUE).
+* :mod:`repro.faultsim.markov` -- closed-form Markov lifetime solver
+  (``faultsim_backend="analytical"``), cross-validated against
+  Monte-Carlo within Wilson intervals; see docs/theory.md.
 """
 
 from repro.faultsim.fault_models import (
@@ -57,9 +60,17 @@ from repro.faultsim.vectorized import (
     adjudicate_shard,
     validate_faultsim_backend,
 )
+from repro.faultsim.markov import (
+    MarkovResult,
+    SweepCell,
+    solve,
+    solve_many,
+    sweep,
+)
 from repro.faultsim import analytical
 from repro.faultsim import campaign
 from repro.faultsim import differential
+from repro.faultsim import markov
 from repro.faultsim import parallel
 from repro.faultsim import vectorized
 
@@ -90,9 +101,15 @@ __all__ = [
     "validate_faultsim_backend",
     "simulate",
     "simulate_many",
+    "MarkovResult",
+    "SweepCell",
+    "solve",
+    "solve_many",
+    "sweep",
     "analytical",
     "campaign",
     "differential",
+    "markov",
     "parallel",
     "vectorized",
 ]

@@ -10,10 +10,20 @@ counts, kinds or times, down to exact float equality of the checkpoint
 payload JSON.  It mirrors :mod:`repro.ecc.differential`, the same
 harness pattern for the ECC codec backends.
 
-Used three ways:
+The closed-form ``analytical`` backend (:mod:`repro.faultsim.markov`)
+gets a *statistical* contract instead of a bit-identical one: it
+solves a model of the sampler rather than replaying its draws, so
+:func:`cross_validate_analytical` asserts that its probabilities fall
+inside the Monte-Carlo Wilson score interval — for the total failure
+probability and for the DUE/SDC components separately — and
+:func:`cross_validate_grid` sweeps that check over scheme × FIT-scale
+cells.  The contract's derivation lives in docs/theory.md.
+
+Used four ways:
 
 * ``tests/unit/test_faultsim_differential.py`` sweeps all six schemes
-  (and both worker counts) through :func:`replay_simulation`;
+  (and both worker counts) through :func:`replay_simulation`, and all
+  six through :func:`cross_validate_analytical`;
 * the golden-corpus test replays recorded (seed, config) digests
   through both backends;
 * ad-hoc verification of a configuration before a long run (see the
@@ -24,11 +34,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faultsim.markov import solve
 from repro.faultsim.schemes import ProtectionScheme
 from repro.faultsim.simulator import (
     MonteCarloConfig,
@@ -41,6 +53,10 @@ from repro.obs import OBS
 
 class DifferentialMismatch(AssertionError):
     """The two adjudication backends disagreed on a replayed result."""
+
+
+class AnalyticalMismatch(DifferentialMismatch):
+    """The analytical solver fell outside a Monte-Carlo Wilson interval."""
 
 
 @dataclass(frozen=True)
@@ -217,3 +233,150 @@ def replay_simulation(
         sdc=scalar.sdc_count,
         workers=workers,
     )
+
+
+def _wilson(successes: int, n: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for ``successes`` out of ``n`` trials.
+
+    The same construction :meth:`ReliabilityResult.confidence_interval`
+    uses for the total failure probability, exposed here so the
+    DUE/SDC *components* get their own intervals too.
+    """
+    if n <= 0:
+        raise ValueError("Wilson interval needs a positive population")
+    p = successes / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denom
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+@dataclass(frozen=True)
+class WilsonCheck:
+    """One analytical-vs-Monte-Carlo Wilson-interval comparison.
+
+    ``quantity`` names what was compared: the ``"total"`` failure
+    probability or its ``"due"``/``"sdc"`` component.  ``inside`` is
+    the contract: the exact analytical probability must lie within the
+    Wilson score interval of the Monte-Carlo estimate.
+    """
+
+    scheme_name: str
+    quantity: str
+    analytical: float
+    monte_carlo: float
+    ci_low: float
+    ci_high: float
+    num_systems: int
+    fit_scale: float = 1.0
+    scrub_hours: Optional[float] = None
+
+    @property
+    def inside(self) -> bool:
+        """Whether the analytical value falls inside the interval."""
+        return self.ci_low <= self.analytical <= self.ci_high
+
+    def __str__(self) -> str:
+        verdict = "inside" if self.inside else "OUTSIDE"
+        return (
+            f"{self.scheme_name} [{self.quantity}, fit x{self.fit_scale:g}]"
+            f": analytical {self.analytical:.3e} {verdict} "
+            f"MC [{self.ci_low:.3e}, {self.ci_high:.3e}] "
+            f"(mc {self.monte_carlo:.3e} @ {self.num_systems} systems)"
+        )
+
+
+def cross_validate_analytical(
+    scheme: ProtectionScheme,
+    config: Optional[MonteCarloConfig] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    z: float = 1.96,
+    fit_scale: float = 1.0,
+) -> List[WilsonCheck]:
+    """Check the analytical solver against Monte-Carlo Wilson intervals.
+
+    Runs the vectorized Monte-Carlo backend under ``config``, solves
+    the same configuration in closed form, and asserts the analytical
+    total/DUE/SDC probabilities each lie inside the corresponding
+    Wilson score interval of the sampled estimate.  Raises
+    :class:`AnalyticalMismatch` listing every violated interval;
+    returns the full check list on success.
+
+    ``fit_scale`` only labels the returned checks (scale the
+    ``config.fit`` table yourself, or use :func:`cross_validate_grid`).
+    Population sizing matters: the interval narrows as ``sqrt(n)``
+    while the solver's own model error is population-independent, so
+    see docs/theory.md for the populations at which this contract is
+    meaningful per scheme.
+    """
+    config = config or MonteCarloConfig()
+    mc = simulate(
+        scheme, _with_backend(config, "vectorized"),
+        workers=workers, shard_size=shard_size,
+    )
+    an = solve(scheme, config)
+    n = config.num_systems
+    checks = []
+    for quantity, count, value in (
+        ("total", mc.failures, an.probability_of_failure),
+        ("due", mc.due_count, an.due_probability),
+        ("sdc", mc.sdc_count, an.sdc_probability),
+    ):
+        lo, hi = _wilson(count, n, z)
+        checks.append(
+            WilsonCheck(
+                scheme_name=scheme.name,
+                quantity=quantity,
+                analytical=value,
+                monte_carlo=count / n,
+                ci_low=lo,
+                ci_high=hi,
+                num_systems=n,
+                fit_scale=fit_scale,
+                scrub_hours=config.scrub_hours,
+            )
+        )
+    if OBS.enabled:
+        OBS.registry.counter("faultsim.differential.wilson_checks").inc(
+            len(checks)
+        )
+    bad = [c for c in checks if not c.inside]
+    if bad:
+        raise AnalyticalMismatch(
+            "analytical solver outside Monte-Carlo Wilson interval(s):\n"
+            + "\n".join(f"  {c}" for c in bad)
+        )
+    return checks
+
+
+def cross_validate_grid(
+    schemes: Sequence[ProtectionScheme],
+    config: Optional[MonteCarloConfig] = None,
+    fit_scales: Sequence[float] = (1.0,),
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    z: float = 1.96,
+) -> List[WilsonCheck]:
+    """Wilson cross-validation over scheme × FIT-scale cells.
+
+    Every cell re-runs Monte-Carlo under the scaled FIT table and
+    checks the analytical answer against it.  Raises
+    :class:`AnalyticalMismatch` on the first failing cell.
+    """
+    config = config or MonteCarloConfig()
+    checks: List[WilsonCheck] = []
+    for scale in fit_scales:
+        scaled = dataclasses.replace(config, fit=config.fit.scaled(scale))
+        for scheme in schemes:
+            checks.extend(
+                cross_validate_analytical(
+                    scheme,
+                    scaled,
+                    workers=workers,
+                    shard_size=shard_size,
+                    z=z,
+                    fit_scale=scale,
+                )
+            )
+    return checks

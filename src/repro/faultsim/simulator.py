@@ -72,9 +72,11 @@ class MonteCarloConfig:
     #: Which lifetime-adjudication backend classifies sample systems:
     #: "scalar" walks ChipFault lists through ``scheme.evaluate`` (the
     #: golden model), "vectorized" runs the batch kernels of
-    #: :mod:`repro.faultsim.vectorized`.  Both are bit-identical (the
-    #: differential harness enforces it), so this knob only trades
-    #: speed, never results.
+    #: :mod:`repro.faultsim.vectorized` — those two are bit-identical
+    #: (the differential harness enforces it).  "analytical" skips
+    #: sampling entirely and solves the closed-form Markov chain of
+    #: :mod:`repro.faultsim.markov`; it is noise-free and agrees with
+    #: Monte-Carlo within Wilson score intervals, not bit-for-bit.
     faultsim_backend: str = "scalar"
 
     @property
@@ -446,9 +448,21 @@ def simulate(
     execution through the fault-tolerant executor: checkpointing,
     resume, retry with backoff, timeouts and signal draining.  With no
     policy the legacy fast path runs unchanged.
+
+    With ``config.faultsim_backend == "analytical"`` no sampling
+    happens at all: the call returns the closed-form
+    :class:`repro.faultsim.markov.MarkovResult` (duck-compatible with
+    :class:`ReliabilityResult`) and ``workers``/``shard_size``/
+    ``runtime`` are ignored.
     """
     config = config or MonteCarloConfig()
     validate_faultsim_backend(config.faultsim_backend)
+    if config.faultsim_backend == "analytical":
+        # Closed-form Markov solve: no population, shards or workers —
+        # the remaining arguments only shape the Monte-Carlo plan.
+        from repro.faultsim.markov import solve
+
+        return solve(scheme, config)
     # Bind before shard fan-out so workers receive the bound scheme.
     scheme.bind_ecc_backend(config.ecc_backend)
     shard_size = resolve_shard_size(

@@ -54,8 +54,12 @@ from repro.faultsim.schemes import (
     XedScheme,
 )
 
-#: Recognised Monte-Carlo adjudication backends.
-FAULTSIM_BACKENDS = ("scalar", "vectorized")
+#: Recognised fault-simulation backends.  ``scalar`` and
+#: ``vectorized`` are bit-identical Monte-Carlo adjudicators;
+#: ``analytical`` is the closed-form Markov solver
+#: (:mod:`repro.faultsim.markov`), cross-validated against them
+#: within Wilson score intervals rather than bit-identical.
+FAULTSIM_BACKENDS = ("scalar", "vectorized", "analytical")
 
 #: Integer code per failure mode, for array comparisons.
 MODE_CODES: Dict[FailureMode, int] = {

@@ -5,6 +5,11 @@ sampled shards (or whole sharded simulations) through both backends
 and requires bit-identical ``ReliabilityResult`` payloads -- failure
 counts, kinds and exact failure-time floats -- for all six protection
 schemes, at one and at four workers.
+
+The closed-form ``analytical`` backend gets the statistical contract
+instead (``TestAnalyticalCrossValidation``): its exact probabilities
+must fall inside the Monte-Carlo Wilson score intervals, per scheme
+and per quantity (total/DUE/SDC), as derived in docs/theory.md.
 """
 
 import dataclasses
@@ -26,9 +31,14 @@ from repro.faultsim import (
     simulate,
 )
 from repro.faultsim.differential import (
+    AnalyticalMismatch,
     DifferentialMismatch,
     DifferentialReport,
+    WilsonCheck,
+    _wilson,
     assert_identical,
+    cross_validate_analytical,
+    cross_validate_grid,
     replay_shard,
     replay_simulation,
 )
@@ -243,3 +253,93 @@ class TestMismatchDetection:
         report = DifferentialReport("x", 1, 0, 0, 0)
         with pytest.raises(dataclasses.FrozenInstanceError):
             report.failures = 5
+
+
+class TestWilsonInterval:
+    """The statistical primitive behind the analytical contract."""
+
+    def test_matches_result_confidence_interval(self):
+        result = ReliabilityResult(
+            scheme_name="x",
+            num_systems=5_000,
+            years=7.0,
+            failure_times_hours=[1.0] * 37,
+            kinds=[FailureKind.DUE] * 37,
+        )
+        assert _wilson(37, 5_000) == pytest.approx(
+            result.confidence_interval(), rel=1e-12
+        )
+
+    def test_zero_successes_contains_zero(self):
+        low, high = _wilson(0, 10_000)
+        assert low == 0.0 and 0.0 < high < 1e-3
+
+    def test_interval_narrows_with_population(self):
+        low_n = _wilson(10, 1_000)
+        high_n = _wilson(100, 10_000)
+        assert (high_n[1] - high_n[0]) < (low_n[1] - low_n[0])
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            _wilson(0, 0)
+
+    def test_check_inside_and_str(self):
+        inside = WilsonCheck(
+            scheme_name="XED",
+            quantity="total",
+            analytical=0.01,
+            monte_carlo=0.011,
+            ci_low=0.009,
+            ci_high=0.013,
+            num_systems=100_000,
+        )
+        outside = dataclasses.replace(inside, analytical=0.02)
+        assert inside.inside and not outside.inside
+        assert "total" in str(inside) and "XED" in str(inside)
+
+
+class TestAnalyticalCrossValidation:
+    """The analytical solver vs Monte-Carlo, per the theory.md contract.
+
+    These are the acceptance checks for the ``analytical`` backend:
+    for every scheme the closed-form total/DUE/SDC probabilities must
+    sit inside the Wilson score interval of a 200K-system vectorized
+    Monte-Carlo run of the identical configuration.
+    """
+
+    CONFIG = MonteCarloConfig(num_systems=200_000, seed=2016)
+
+    @pytest.mark.parametrize(
+        "make_scheme", ALL_SCHEMES, ids=SCHEME_IDS
+    )
+    def test_all_schemes_within_wilson(self, make_scheme):
+        checks = cross_validate_analytical(make_scheme(), self.CONFIG)
+        assert len(checks) == 3  # total, due, sdc
+        assert all(c.inside for c in checks)
+
+    def test_grid_fit_scales(self):
+        checks = cross_validate_grid(
+            [ChipkillScheme()], self.CONFIG, fit_scales=(1.0, 4.0)
+        )
+        assert {c.fit_scale for c in checks} == {1.0, 4.0}
+        assert all(c.inside for c in checks)
+
+    def test_scrubbed_cell_within_wilson(self):
+        config = dataclasses.replace(self.CONFIG, scrub_hours=168.0)
+        checks = cross_validate_analytical(XedScheme(), config)
+        assert all(c.scrub_hours == 168.0 for c in checks)
+        assert all(c.inside for c in checks)
+
+    def test_mismatch_lists_violations(self):
+        # A near-zero z collapses the interval to the Monte-Carlo
+        # point estimate, which the exact solver will not hit --
+        # exercising the failure path that reports which quantities
+        # fell outside their intervals.
+        small = dataclasses.replace(
+            self.CONFIG,
+            num_systems=20_000,
+            fit=self.CONFIG.fit.scaled(10.0),
+        )
+        with pytest.raises(AnalyticalMismatch) as excinfo:
+            cross_validate_analytical(ChipkillScheme(), small, z=1e-9)
+        assert "Wilson" in str(excinfo.value)

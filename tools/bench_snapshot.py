@@ -3,8 +3,9 @@
 
 The ledger keeps the reproduction's performance honest across PRs.
 ``record`` times a small fixed set of hot paths (scalar ECC decode,
-batched ECC decode, scalar and vectorized Monte-Carlo adjudication)
-and writes a ``BENCH_<stamp>.json`` snapshot into
+batched ECC decode, scalar and vectorized Monte-Carlo adjudication,
+and the analytical Markov solver vs vectorized Monte-Carlo on the
+full Fig-7 sweep) and writes a ``BENCH_<stamp>.json`` snapshot into
 ``benchmarks/snapshots/``; one snapshot per landed optimisation is
 committed alongside the code.  ``compare`` re-times the same paths and
 diffs them against the latest committed snapshot (or an explicit
@@ -131,11 +132,54 @@ def _bench_faultsim(num_systems: int = 50_000) -> Dict[str, Dict[str, object]]:
     }
 
 
+def _bench_markov(num_systems: int = 4_000_000) -> Dict[str, Dict[str, object]]:
+    """Time the analytical Markov solver vs vectorized Monte-Carlo.
+
+    The workload is the full Fig-7 sweep (ECC-DIMM, XED, Chipkill) at
+    the committed full-scale figure population: the closed-form solver
+    answers it in milliseconds while the sampler pays per system, so
+    the ratio is the ledger's guard against the solver silently
+    regressing into per-system work.  The Monte-Carlo leg is timed
+    once (it runs ~10 s; its jitter is small relative to the 100x-scale
+    ratio and the comparator's tolerance band).
+    """
+    from repro.faultsim import (
+        ChipkillScheme,
+        EccDimmScheme,
+        MonteCarloConfig,
+        XedScheme,
+        simulate,
+    )
+
+    schemes = [EccDimmScheme(), XedScheme(), ChipkillScheme()]
+
+    def run(backend: str) -> None:
+        config = MonteCarloConfig(
+            num_systems=num_systems, seed=2016, faultsim_backend=backend,
+        )
+        for scheme in schemes:
+            simulate(scheme, config)
+
+    run("analytical")  # warm the geometry/SDC-fraction caches
+    analytical_s = _time_call(lambda: run("analytical"))
+    vectorized_s = _time_call(lambda: run("vectorized"), repeats=1)
+    return {
+        "faultsim.analytical_sweep_s": {
+            "value": analytical_s, "cls": "wall", "better": "lower",
+        },
+        "faultsim.analytical_sweep_speedup": {
+            "value": vectorized_s / max(analytical_s, 1e-12),
+            "cls": "ratio", "better": "higher",
+        },
+    }
+
+
 def collect_metrics() -> Dict[str, Dict[str, object]]:
     """Run every ledger benchmark and return the metric mapping."""
     metrics: Dict[str, Dict[str, object]] = {}
     metrics.update(_bench_ecc())
     metrics.update(_bench_faultsim())
+    metrics.update(_bench_markov())
     return metrics
 
 
@@ -209,12 +253,28 @@ def compare_snapshots(
     return lines, regressions
 
 
+def snapshot_path(out_dir: Path, stamp: str) -> Path:
+    """Unoccupied ``BENCH_<stamp>[letter].json`` path under ``out_dir``.
+
+    Two snapshots landed on the same day get letter suffixes
+    (``BENCH_20260808.json``, ``BENCH_20260808b.json``, ...) so a
+    same-day recording never overwrites the committed baseline it is
+    meant to be compared against.
+    """
+    path = out_dir / f"BENCH_{stamp}.json"
+    suffix = ord("b")
+    while path.exists():
+        path = out_dir / f"BENCH_{stamp}{chr(suffix)}.json"
+        suffix += 1
+    return path
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     """Collect metrics and write ``BENCH_<stamp>.json``."""
     snapshot = make_snapshot(collect_metrics())
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / f"BENCH_{snapshot['stamp']}.json"
+    path = snapshot_path(out_dir, snapshot["stamp"])
     path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     print(f"recorded {len(snapshot['metrics'])} metric(s) -> {path}")
     for name, m in sorted(snapshot["metrics"].items()):

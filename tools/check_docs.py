@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Docs lint: every flag and dotted path in the docs must exist.
+
+Documentation rots silently: a renamed CLI flag or moved module keeps
+its stale mentions in ``docs/*.md`` and ``README.md`` until a reader
+trips over them.  This lint closes the loop by extracting every
+``--flag`` token and every ``repro.*`` dotted path from the prose and
+verifying each against the living code:
+
+* flags must be registered somewhere in the ``repro`` argparse tree
+  (all subcommands, recursively), declared by a script under
+  ``tools/``, or belong to the small allowlist of third-party tools
+  the docs legitimately mention (pytest-benchmark, coverage, pip);
+* dotted paths must import — ``repro.faultsim.markov`` as a module,
+  ``repro.faultsim.markov.solve`` as an attribute of one — with a
+  trailing ``*`` accepted as a prefix wildcard over the parent's
+  attributes (``repro.perfsim.configs.EXTRA_*``).
+
+Run from the repository root (CI does, right after the docstring
+gate)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit codes: 0 clean, 1 stale references found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation surface this lint protects.
+DEFAULT_DOCS: Tuple[str, ...] = ("README.md", "docs/*.md")
+
+#: Flags owned by third-party tools the docs legitimately reference
+#: (pytest/pytest-benchmark/pytest-cov/pytest-timeout, pip).  Anything
+#: else must resolve against the repro argparse tree or a tools/
+#: script.
+EXTERNAL_FLAGS: Set[str] = {
+    "--benchmark-disable",
+    "--benchmark-json",
+    "--benchmark-only",
+    "--cov",
+    "--cov-fail-under",
+    "--cov-report",
+    "--help",
+    "--no-build-isolation",
+    "--timeout",
+}
+
+#: ``--flag`` tokens: a word boundary, two dashes, then a lowercase
+#: flag name.  The lookbehind keeps mid-word dashes (``a--b``) and
+#: markdown horizontal rules from matching.
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+#: ``repro.something[.more]`` dotted paths.  A trailing ``*`` in the
+#: source marks a prefix wildcard, handled in :func:`resolve_dotted`.
+DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+
+def collect_cli_flags() -> Set[str]:
+    """Every ``--flag`` registered in the repro argparse tree."""
+    from repro.cli import build_parser
+
+    flags: Set[str] = set()
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            for option in action.option_strings:
+                if option.startswith("--"):
+                    flags.add(option)
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    walk(sub)
+
+    walk(build_parser())
+    return flags
+
+
+def collect_tool_flags(tools_dir: Optional[Path] = None) -> Set[str]:
+    """Every ``--flag`` declared by ``add_argument`` in tools/ scripts.
+
+    A textual scrape rather than an import: the tools are standalone
+    scripts (some with side-effectful ``__main__`` blocks), and their
+    ``add_argument("--flag", ...)`` calls are all literal.
+    """
+    tools_dir = tools_dir or (REPO_ROOT / "tools")
+    flags: Set[str] = set()
+    for script in sorted(tools_dir.glob("*.py")):
+        text = script.read_text(encoding="utf-8")
+        flags.update(
+            re.findall(r"add_argument\(\s*['\"](--[a-z0-9-]+)", text)
+        )
+    return flags
+
+
+def resolve_dotted(path: str, wildcard: bool = False) -> bool:
+    """Whether a ``repro.*`` dotted path exists in the import graph.
+
+    Tries the longest importable module prefix, then follows the
+    remaining components with ``getattr``.  With ``wildcard`` the last
+    component is a prefix: the parent must expose *some* attribute
+    starting with it.
+    """
+    parts = path.split(".")
+    prefix_parts, leaf = (parts[:-1], parts[-1]) if wildcard else (parts, "")
+    for i in range(len(prefix_parts), 0, -1):
+        module_name = ".".join(prefix_parts[:i])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in prefix_parts[i:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        if wildcard:
+            return any(name.startswith(leaf) for name in dir(obj))
+        return True
+    return False
+
+
+def expand_docs(patterns: Iterable[str]) -> List[Path]:
+    """Resolve doc paths: globs relative to the repo root, or absolute."""
+    paths: List[Path] = []
+    for pattern in patterns:
+        candidate = Path(pattern)
+        if candidate.is_absolute():
+            if not candidate.is_file():
+                raise FileNotFoundError(pattern)
+            paths.append(candidate)
+            continue
+        matches = sorted(REPO_ROOT.glob(pattern))
+        if not matches and "*" not in pattern:
+            raise FileNotFoundError(pattern)
+        paths.extend(matches)
+    return paths
+
+
+def check_file(
+    doc: Path, cli_flags: Set[str], tool_flags: Set[str]
+) -> List[str]:
+    """Lint one markdown file; returns ``path:line: message`` strings."""
+    problems: List[str] = []
+    known_flags = cli_flags | tool_flags | EXTERNAL_FLAGS
+    try:
+        rel = doc.relative_to(REPO_ROOT)
+    except ValueError:
+        rel = doc
+    for lineno, line in enumerate(
+        doc.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in FLAG_RE.finditer(line):
+            flag = match.group(0)
+            if flag not in known_flags:
+                problems.append(
+                    f"{rel}:{lineno}: unknown flag {flag} (not in the "
+                    "repro argparse tree, tools/ scripts, or the "
+                    "external-tool allowlist)"
+                )
+        for match in DOTTED_RE.finditer(line):
+            path = match.group(0)
+            wildcard = line[match.end() : match.end() + 1] == "*"
+            if not resolve_dotted(path, wildcard=wildcard):
+                suffix = "*" if wildcard else ""
+                problems.append(
+                    f"{rel}:{lineno}: unresolvable reference "
+                    f"{path}{suffix} (does not import)"
+                )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="check_docs",
+        description="verify doc-mentioned flags and repro.* paths exist",
+    )
+    parser.add_argument(
+        "docs", nargs="*", default=list(DEFAULT_DOCS),
+        help="doc files or globs relative to the repo root "
+             "(default: README.md docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        docs = expand_docs(args.docs)
+    except FileNotFoundError as exc:
+        print(f"no such doc: {exc}", file=sys.stderr)
+        return 2
+    cli_flags = collect_cli_flags()
+    tool_flags = collect_tool_flags()
+    problems: List[str] = []
+    for doc in docs:
+        problems.extend(check_file(doc, cli_flags, tool_flags))
+    for problem in problems:
+        print(problem)
+    checked = len(docs)
+    if problems:
+        print(
+            f"{len(problems)} stale reference(s) across {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{checked} doc file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
