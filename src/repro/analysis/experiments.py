@@ -361,10 +361,15 @@ def _run_fig10(
 
 #: Memo for performance grids: fig11 and fig12 share the same runs, as
 #: do fig13's time and power views.  Keyed by (scale, seed, schemes).
+#: The perfsim backend is *not* part of the key -- both backends are
+#: certified bit-identical (repro.perfsim.differential), so a grid
+#: computed under one serves the other.
 _GRID_CACHE: Dict[tuple, Dict] = {}
 
 
-def _perf_grid(scale: str, seed: int, scheme_keys) -> Dict:
+def _perf_grid(
+    scale: str, seed: int, scheme_keys, perfsim_backend: str = "scalar"
+) -> Dict:
     key = (scale, seed, tuple(scheme_keys))
     if key in _GRID_CACHE:
         return _GRID_CACHE[key]
@@ -377,6 +382,7 @@ def _perf_grid(scale: str, seed: int, scheme_keys) -> Dict:
         workloads=workloads,
         instructions_per_core=instructions,
         seed=seed,
+        backend=perfsim_backend,
     )
     _GRID_CACHE[key] = grid
     return grid
@@ -385,8 +391,10 @@ def _perf_grid(scale: str, seed: int, scheme_keys) -> Dict:
 _FIG11_SCHEMES = ("ecc_dimm", "xed", "chipkill", "xed_chipkill", "double_chipkill")
 
 
-def _run_fig11(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
-    grid = _perf_grid(scale, seed, _FIG11_SCHEMES)
+def _run_fig11(
+    scale: str = "quick", seed: int = 2016, perfsim_backend: str = "scalar"
+) -> ExperimentReport:
+    grid = _perf_grid(scale, seed, _FIG11_SCHEMES, perfsim_backend)
     keys = [k for k in _FIG11_SCHEMES if k != "ecc_dimm"]
     table = format_figure_table(
         grid, keys, metric="time", title="Normalized Execution Time (Figure 11)"
@@ -399,8 +407,10 @@ def _run_fig11(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
     return _report("fig11", lines=lines, data={"grid": grid, "gmeans": gmeans})
 
 
-def _run_fig12(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
-    grid = _perf_grid(scale, seed, _FIG11_SCHEMES)
+def _run_fig12(
+    scale: str = "quick", seed: int = 2016, perfsim_backend: str = "scalar"
+) -> ExperimentReport:
+    grid = _perf_grid(scale, seed, _FIG11_SCHEMES, perfsim_backend)
     keys = [k for k in _FIG11_SCHEMES if k != "ecc_dimm"]
     table = format_figure_table(
         grid, keys, metric="power", title="Normalized Memory Power (Figure 12)"
@@ -427,8 +437,10 @@ _FIG13_SCHEMES = (
 )
 
 
-def _run_fig13(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
-    grid = _perf_grid(scale, seed, _FIG13_SCHEMES)
+def _run_fig13(
+    scale: str = "quick", seed: int = 2016, perfsim_backend: str = "scalar"
+) -> ExperimentReport:
+    grid = _perf_grid(scale, seed, _FIG13_SCHEMES, perfsim_backend)
     keys = [k for k in _FIG13_SCHEMES if k != "ecc_dimm"]
     time_g = {
         k: geometric_mean(normalized_metric(grid, k).values()) for k in keys
@@ -449,8 +461,10 @@ def _run_fig13(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
     )
 
 
-def _run_fig14(scale: str = "quick", seed: int = 2016) -> ExperimentReport:
-    grid = _perf_grid(scale, seed, ("ecc_dimm", "xed", "lotecc"))
+def _run_fig14(
+    scale: str = "quick", seed: int = 2016, perfsim_backend: str = "scalar"
+) -> ExperimentReport:
+    grid = _perf_grid(scale, seed, ("ecc_dimm", "xed", "lotecc"), perfsim_backend)
     lot = normalized_metric(grid, "lotecc")
     xed = normalized_metric(grid, "xed")
     lines = [
@@ -534,6 +548,7 @@ def run_experiment(
     seed: int = 2016,
     ecc_backend: str = "scalar",
     faultsim_backend: str = "vectorized",
+    perfsim_backend: str = "scalar",
 ) -> ExperimentReport:
     """Regenerate one of the paper's tables/figures by id.
 
@@ -543,8 +558,12 @@ def run_experiment(
     ``faultsim_backend`` selects the Monte-Carlo adjudication backend
     for the reliability figures (both backends are bit-identical, so
     this only changes the runtime; vectorized is the default and is
-    what makes the full-scale populations affordable).  Experiments
-    with no such involvement ignore the respective knob.
+    what makes the full-scale populations affordable);
+    ``perfsim_backend`` selects the performance-simulator engine for
+    Figures 11-14 (``scalar`` golden walk or the bit-identical
+    event-driven ``pipeline``, certified by
+    :mod:`repro.perfsim.differential`).  Experiments with no such
+    involvement ignore the respective knob.
     """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
@@ -555,9 +574,11 @@ def run_experiment(
         raise ValueError("scale must be 'quick' or 'full'")
     from repro.ecc.batched import validate_backend
     from repro.faultsim.vectorized import validate_faultsim_backend
+    from repro.perfsim.engine import validate_perfsim_backend
 
     validate_backend(ecc_backend)
     validate_faultsim_backend(faultsim_backend)
+    validate_perfsim_backend(perfsim_backend)
     runner = EXPERIMENTS[experiment_id].runner
     kwargs = {"scale": scale, "seed": seed}
     parameters = inspect.signature(runner).parameters
@@ -565,6 +586,8 @@ def run_experiment(
         kwargs["ecc_backend"] = ecc_backend
     if "faultsim_backend" in parameters:
         kwargs["faultsim_backend"] = faultsim_backend
+    if "perfsim_backend" in parameters:
+        kwargs["perfsim_backend"] = perfsim_backend
     return runner(**kwargs)
 
 
@@ -574,6 +597,7 @@ def reproduce_all(
     experiment_ids: Optional[List[str]] = None,
     ecc_backend: str = "scalar",
     faultsim_backend: str = "vectorized",
+    perfsim_backend: str = "scalar",
 ) -> Dict[str, ExperimentReport]:
     """Regenerate every table and figure (or a chosen subset), in the
     paper's order.  The whole-evaluation equivalent of the benchmark
@@ -588,6 +612,7 @@ def reproduce_all(
         exp_id: run_experiment(
             exp_id, scale, seed,
             ecc_backend=ecc_backend, faultsim_backend=faultsim_backend,
+            perfsim_backend=perfsim_backend,
         )
         for exp_id in ids
     }

@@ -139,6 +139,27 @@ def _add_faultsim_backend_flag(
     )
 
 
+def _add_perfsim_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--perfsim-backend`` to sub-commands that run the
+    performance simulator.
+
+    ``pipeline`` is the event-driven multi-channel engine of
+    :mod:`repro.perfsim.pipeline` (several times faster on figure
+    grids); ``scalar`` is the original engine walk and stays the golden
+    reference.  The two are certified bit-identical -- cycle counts,
+    JEDEC command logs and power accounting -- for every Figure 11-13
+    cell by :mod:`repro.perfsim.differential`, so the default is the
+    fast one.
+    """
+    parser.add_argument(
+        "--perfsim-backend", choices=("scalar", "pipeline"),
+        default="pipeline",
+        help="performance-sim backend: event-driven multi-channel engine "
+             "(pipeline, default) or the original scalar walk (golden "
+             "model; bit-identical, certified by repro.perfsim.differential)",
+    )
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the sharding/parallelism flags shared by long-running
     sub-commands (see docs/performance.md for guidance)."""
@@ -345,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=2016)
     _add_ecc_backend_flag(exp)
     _add_faultsim_backend_flag(exp)
+    _add_perfsim_backend_flag(exp)
     _add_runtime_flags(exp)
 
     rel = add_parser("reliability", help="Monte-Carlo scheme comparison")
@@ -373,6 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--metric", choices=("time", "power", "both"), default="both"
     )
+    _add_perfsim_backend_flag(perf)
+    perf.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="worker processes for the (workload x scheme) grid "
+             "(default 1; one cell per shard, results identical for "
+             "any worker count)",
+    )
+    _add_runtime_flags(perf)
 
     col = add_parser("collision", help="catch-word collision analytics")
     col.add_argument("--bits", type=int, default=64)
@@ -390,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also render SVG charts where applicable")
     _add_ecc_backend_flag(all_cmd)
     _add_faultsim_backend_flag(all_cmd)
+    _add_perfsim_backend_flag(all_cmd)
     _add_runtime_flags(all_cmd)
 
     exp_out = add_parser(
@@ -403,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also render an SVG chart where applicable")
     _add_ecc_backend_flag(exp_out)
     _add_faultsim_backend_flag(exp_out)
+    _add_perfsim_backend_flag(exp_out)
     _add_runtime_flags(exp_out)
 
     swp = add_parser(
@@ -462,7 +494,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     try:
         report = run_experiment(args.experiment_id, scale=args.scale,
                                 seed=args.seed, ecc_backend=args.ecc_backend,
-                                faultsim_backend=args.faultsim_backend)
+                                faultsim_backend=args.faultsim_backend,
+                                perfsim_backend=args.perfsim_backend)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -564,6 +597,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     grid = run_suite(
         schemes, workloads,
         instructions_per_core=args.instructions, seed=args.seed,
+        backend=args.perfsim_backend, workers=args.workers,
     )
     keys = [k for k in schemes if k != "ecc_dimm"]
     if args.metric in ("time", "both"):
@@ -608,6 +642,7 @@ def _provenance(args: argparse.Namespace) -> dict:
         "scale": getattr(args, "scale", None),
         "ecc_backend": getattr(args, "ecc_backend", None),
         "faultsim_backend": getattr(args, "faultsim_backend", None),
+        "perfsim_backend": getattr(args, "perfsim_backend", None),
         "complete": True,
         "runs": [],
     }
@@ -624,6 +659,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
     reports = reproduce_all(
         scale=args.scale, seed=args.seed, ecc_backend=args.ecc_backend,
         faultsim_backend=args.faultsim_backend,
+        perfsim_backend=args.perfsim_backend,
     )
     # reproduce_all has finished every run by now, so one provenance
     # block describes them all.
@@ -646,7 +682,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
     try:
         report = run_experiment(args.experiment_id, scale=args.scale,
                                 seed=args.seed, ecc_backend=args.ecc_backend,
-                                faultsim_backend=args.faultsim_backend)
+                                faultsim_backend=args.faultsim_backend,
+                                perfsim_backend=args.perfsim_backend)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return EXIT_USAGE

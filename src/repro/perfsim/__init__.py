@@ -20,16 +20,45 @@ package reimplements that methodology:
 * :mod:`repro.perfsim.configs` -- protection-scheme machine configs
   (XED, Chipkill, Double-Chipkill, extra-burst/transaction, LOT-ECC).
 * :mod:`repro.perfsim.runner` -- experiment driver for Figures 11-14.
+* :mod:`repro.perfsim.pipeline` -- event-driven multi-channel backend,
+  bit-identical to the scalar engine and ~4-5x faster.
+* :mod:`repro.perfsim.differential` -- replay harness certifying that
+  identity over every Figure 11-13 cell.
+
+Both engines sit behind ``simulate_system(..., backend=...)``; the
+scalar walk stays the golden reference while the pipeline backend is
+what the CLI runs by default (``--perfsim-backend``).
 """
 
 from repro.perfsim.timing import DDR3Timing, SystemTiming
 from repro.perfsim.requests import MemoryRequest, RequestType
 from repro.perfsim.configs import SchemeConfig, SCHEME_CONFIGS
 from repro.perfsim.workloads import Workload, WORKLOADS, workload_by_name
-from repro.perfsim.trace import SyntheticTrace, TraceOp
-from repro.perfsim.engine import SimulationResult, simulate_system
+from repro.perfsim.trace import SyntheticTrace, TraceOp, TraceArrays, build_trace_arrays
+from repro.perfsim.engine import (
+    PERFSIM_BACKENDS,
+    SimulationResult,
+    simulate_system,
+    validate_perfsim_backend,
+)
+from repro.perfsim.pipeline import simulate_system_pipeline
+from repro.perfsim.differential import (
+    FIGURE_SCHEMES,
+    CellCertificate,
+    PerfsimMismatch,
+    diff_results,
+    replay_cell,
+    replay_figures,
+    replay_grid,
+)
 from repro.perfsim.power import PowerModel, PowerBreakdown
-from repro.perfsim.runner import run_benchmark, run_suite, normalized_metric
+from repro.perfsim.runner import (
+    BenchmarkRun,
+    run_benchmark,
+    run_suite,
+    normalized_metric,
+    suite_fingerprint,
+)
 
 __all__ = [
     "DDR3Timing",
@@ -43,11 +72,25 @@ __all__ = [
     "workload_by_name",
     "SyntheticTrace",
     "TraceOp",
+    "TraceArrays",
+    "build_trace_arrays",
+    "PERFSIM_BACKENDS",
     "SimulationResult",
     "simulate_system",
+    "validate_perfsim_backend",
+    "simulate_system_pipeline",
+    "FIGURE_SCHEMES",
+    "CellCertificate",
+    "PerfsimMismatch",
+    "diff_results",
+    "replay_cell",
+    "replay_figures",
+    "replay_grid",
     "PowerModel",
     "PowerBreakdown",
+    "BenchmarkRun",
     "run_benchmark",
     "run_suite",
     "normalized_metric",
+    "suite_fingerprint",
 ]

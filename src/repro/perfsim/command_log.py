@@ -5,7 +5,8 @@ stepping cycle by cycle, which makes an independent checker valuable:
 this module records the discrete command stream (ACT / RD / WR / data
 bursts) a simulation implies and re-verifies every JEDEC constraint
 after the fact -- tRC, tRCD, tRP, tRAS, tRRD, tFAW, tCCD, tWTR, data-bus
-exclusivity and read-latency consistency.  The validator is used by the
+exclusivity, read-latency consistency and ACT exclusion from refresh
+windows.  The validator is used by the
 test suite as a timing lint over randomized workloads; simulations run
 with logging off by default (it costs memory, not accuracy).
 """
@@ -93,6 +94,7 @@ def validate_log(log: CommandLog, timing: DDR3Timing) -> List[Violation]:
     violations.extend(_check_bank_constraints(log, timing))
     violations.extend(_check_rank_constraints(log, timing))
     violations.extend(_check_bus_exclusivity(log))
+    violations.extend(_check_refresh_windows(log, timing))
     return violations
 
 
@@ -162,6 +164,26 @@ def _check_rank_constraints(log: CommandLog, t: DDR3Timing) -> List[Violation]:
                 out.append(Violation(
                     "tFAW",
                     f"rank {rank}: 5 ACTs within {window:.1f} cycles",
+                ))
+    return out
+
+
+def _check_refresh_windows(log: CommandLog, t: DDR3Timing) -> List[Violation]:
+    out: List[Violation] = []
+    refreshes: Dict[int, List[float]] = {}
+    for command in log.sorted_by_time():
+        if command.cmd is Cmd.REFRESH:
+            refreshes.setdefault(command.rank, []).append(command.time)
+    for command in log.sorted_by_time():
+        if command.cmd is not Cmd.ACT:
+            continue
+        for start in refreshes.get(command.rank, ()):
+            if start - EPS <= command.time < start + t.tRFC - EPS:
+                out.append(Violation(
+                    "tRFC",
+                    f"rank {command.rank}: ACT at {command.time:.1f} "
+                    f"inside refresh window [{start:.1f},"
+                    f"{start + t.tRFC:.1f})",
                 ))
     return out
 

@@ -1,0 +1,232 @@
+"""Differential certification of the pipeline perfsim backend.
+
+The event-driven :mod:`repro.perfsim.pipeline` backend is only useful
+if it is *the same simulator* as the scalar reference in
+:mod:`repro.perfsim.engine` -- every figure must be reproducible from
+either.  This module replays (workload, scheme) cells through both
+backends and asserts identity across every observable:
+
+* cycle accounting -- ``exec_bus_cycles`` and per-core finish times,
+  compared exactly (the pipeline is a transliteration, not an
+  approximation, so float results match bit for bit);
+* request accounting -- reads/writes/companions/serial-mode entries and
+  the full per-channel :class:`~repro.perfsim.engine.ChannelStats`;
+* command streams -- per-channel JEDEC command logs
+  (:class:`~repro.perfsim.command_log.LoggedCommand` sequences), the
+  strongest check: identical logs mean identical scheduling decisions
+  at identical times;
+* power accounting -- all four :class:`~repro.perfsim.power.PowerBreakdown`
+  components derived from each backend's result.
+
+:func:`replay_figures` sweeps the union of the Figure 11-13 scheme
+sets over the full workload roster, which is the certificate the CI
+differential step and ``tests/unit/test_perfsim_golden.py`` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import OBS, span
+from repro.obs.progress import progress
+from repro.perfsim.configs import SCHEME_CONFIGS, SchemeConfig
+from repro.perfsim.engine import SimulationResult, simulate_system
+from repro.perfsim.power import PowerModel
+from repro.perfsim.timing import SystemTiming
+from repro.perfsim.workloads import WORKLOADS, Workload, workload_by_name
+
+#: Union of the scheme sets plotted in Figures 11, 12 and 13 -- the
+#: cells the pipeline backend must reproduce exactly (Figure 12 is the
+#: power view of Figure 11's grid, so it adds no schemes).
+FIGURE_SCHEMES: Tuple[str, ...] = (
+    "ecc_dimm",
+    "xed",
+    "chipkill",
+    "xed_chipkill",
+    "double_chipkill",
+    "extra_burst_chipkill",
+    "extra_txn_chipkill",
+    "extra_burst_double_chipkill",
+    "extra_txn_double_chipkill",
+)
+
+
+class PerfsimMismatch(AssertionError):
+    """Raised when the two backends disagree on any observable.
+
+    ``diffs`` lists every divergent quantity as
+    ``"path: scalar=<a> pipeline=<b>"`` strings.
+    """
+
+    def __init__(self, workload: str, scheme_key: str, diffs: List[str]):
+        self.workload = workload
+        self.scheme_key = scheme_key
+        self.diffs = diffs
+        shown = "\n  ".join(diffs[:12])
+        more = f"\n  ... and {len(diffs) - 12} more" if len(diffs) > 12 else ""
+        super().__init__(
+            f"backends diverge on ({workload}, {scheme_key}), "
+            f"{len(diffs)} difference(s):\n  {shown}{more}"
+        )
+
+
+@dataclass(frozen=True)
+class CellCertificate:
+    """Proof record for one verified (workload, scheme) cell."""
+
+    workload: str
+    scheme_key: str
+    exec_bus_cycles: float
+    commands: int
+
+
+def _diff_payload(a: dict, b: dict, prefix: str, out: List[str]) -> None:
+    for key, va in a.items():
+        vb = b[key]
+        if isinstance(va, dict):
+            _diff_payload(va, vb, f"{prefix}{key}.", out)
+        elif va != vb:
+            out.append(f"{prefix}{key}: scalar={va!r} pipeline={vb!r}")
+
+
+def _diff_command_logs(a: SimulationResult, b: SimulationResult,
+                       out: List[str]) -> None:
+    logs_a = a.command_logs or []
+    logs_b = b.command_logs or []
+    if len(logs_a) != len(logs_b):  # pragma: no cover - geometry is shared
+        out.append(f"command_logs: scalar={len(logs_a)} channels "
+                   f"pipeline={len(logs_b)} channels")
+        return
+    for c, (log_a, log_b) in enumerate(zip(logs_a, logs_b)):
+        cmds_a, cmds_b = log_a.commands, log_b.commands
+        if len(cmds_a) != len(cmds_b):
+            out.append(f"command_logs[{c}]: scalar={len(cmds_a)} commands "
+                       f"pipeline={len(cmds_b)} commands")
+            continue
+        for i, (ca, cb) in enumerate(zip(cmds_a, cmds_b)):
+            if ca != cb:
+                out.append(f"command_logs[{c}][{i}]: scalar={ca} pipeline={cb}")
+                break
+
+
+def diff_results(scalar: SimulationResult, pipeline: SimulationResult,
+                 power_model: Optional[PowerModel] = None,
+                 config: Optional[SchemeConfig] = None) -> List[str]:
+    """Every difference between two backend runs of the same cell.
+
+    Compares the full checkpoint payload (cycle counts, request
+    counters, channel stats, finish times), the per-channel command
+    logs when both results carry them, and -- when ``config`` is given
+    -- the derived power breakdown.  Returns an empty list when the
+    results are identical.
+    """
+    diffs: List[str] = []
+    _diff_payload(scalar.to_payload(), pipeline.to_payload(), "", diffs)
+    if scalar.command_logs is not None or pipeline.command_logs is not None:
+        _diff_command_logs(scalar, pipeline, diffs)
+    if config is not None:
+        model = power_model or PowerModel()
+        pa = model.compute(scalar, config)
+        pb = model.compute(pipeline, config)
+        for field in ("background", "activate", "read_write", "refresh"):
+            va, vb = getattr(pa, field), getattr(pb, field)
+            if va != vb:
+                diffs.append(f"power.{field}: scalar={va!r} pipeline={vb!r}")
+    return diffs
+
+
+def replay_cell(
+    workload: Workload | str,
+    config: SchemeConfig | str,
+    system: Optional[SystemTiming] = None,
+    instructions_per_core: int = 20_000,
+    seed: int = 2016,
+    log_commands: bool = True,
+) -> CellCertificate:
+    """Run one cell through both backends and assert identity.
+
+    Raises :class:`PerfsimMismatch` on any divergence; returns a
+    :class:`CellCertificate` on success.  ``log_commands`` extends the
+    check to the full JEDEC command streams (the default -- turn it off
+    only for very long replays where log memory matters).
+    """
+    if isinstance(workload, str):
+        workload = workload_by_name(workload)
+    if isinstance(config, str):
+        config = SCHEME_CONFIGS[config]
+    system = system or SystemTiming()
+    with span("perfsim.differential.cell",
+              workload=workload.name, scheme=config.key):
+        scalar = simulate_system(
+            workload, config, system, instructions_per_core, seed,
+            backend="scalar", log_commands=log_commands,
+        )
+        pipeline = simulate_system(
+            workload, config, system, instructions_per_core, seed,
+            backend="pipeline", log_commands=log_commands,
+        )
+        model = PowerModel(timing=system.ddr)
+        diffs = diff_results(scalar, pipeline, model, config)
+    if diffs:
+        raise PerfsimMismatch(workload.name, config.key, diffs)
+    if OBS.enabled:
+        OBS.registry.counter("perfsim.differential.cells_verified").inc()
+    commands = sum(len(log.commands) for log in (scalar.command_logs or []))
+    return CellCertificate(
+        workload=workload.name,
+        scheme_key=config.key,
+        exec_bus_cycles=scalar.exec_bus_cycles,
+        commands=commands,
+    )
+
+
+def replay_grid(
+    scheme_keys: Sequence[str],
+    workloads: Optional[Iterable[Workload]] = None,
+    system: Optional[SystemTiming] = None,
+    instructions_per_core: int = 20_000,
+    seed: int = 2016,
+    log_commands: bool = True,
+) -> List[CellCertificate]:
+    """Certify every (workload, scheme) cell of a grid.
+
+    Stops at the first :class:`PerfsimMismatch` (a divergent cell means
+    the transliteration is broken -- later cells add no information).
+    """
+    workloads = list(workloads) if workloads is not None else list(WORKLOADS)
+    certificates: List[CellCertificate] = []
+    reporter = progress(len(workloads) * len(scheme_keys), "differential")
+    try:
+        with span("perfsim.differential.grid",
+                  cells=len(workloads) * len(scheme_keys)):
+            for workload in workloads:
+                for key in scheme_keys:
+                    certificates.append(replay_cell(
+                        workload, key, system, instructions_per_core, seed,
+                        log_commands=log_commands,
+                    ))
+                    reporter.update()
+    finally:
+        reporter.close()
+    return certificates
+
+
+def replay_figures(
+    workloads: Optional[Iterable[Workload]] = None,
+    system: Optional[SystemTiming] = None,
+    instructions_per_core: int = 20_000,
+    seed: int = 2016,
+    log_commands: bool = True,
+) -> List[CellCertificate]:
+    """Certify the full Figure 11-13 surface: all roster workloads
+    against :data:`FIGURE_SCHEMES`.
+
+    This is the acceptance harness for the pipeline backend: passing
+    means every cell behind Figures 11, 12 and 13 is bit-identical
+    across backends, command stream included.
+    """
+    return replay_grid(
+        FIGURE_SCHEMES, workloads, system, instructions_per_core, seed,
+        log_commands=log_commands,
+    )

@@ -194,20 +194,25 @@ class Channel:
                 LoggedCommand(cmd, time, rank, bank, row, data_start, data_end)
             )
 
+    def _apply_refresh(self, rank_idx: int) -> None:
+        """Issue one pending refresh on ``rank_idx`` at its deadline."""
+        rank = self.ranks[rank_idx]
+        start = rank.next_refresh
+        end = start + self.t.tRFC
+        for bank in rank.banks:
+            bank.open_row = None
+            bank.act_ready = max(bank.act_ready, end)
+        rank.next_refresh += self.t.tREFI
+        self.stats.refreshes += 1
+        if self.command_log is not None:
+            from repro.perfsim.command_log import Cmd
+
+            self._log(Cmd.REFRESH, start, rank_idx, -1)
+
     def _maybe_refresh(self, rank_idx: int, now: float) -> None:
         rank = self.ranks[rank_idx]
         while now >= rank.next_refresh:
-            start = rank.next_refresh
-            end = start + self.t.tRFC
-            for bank in rank.banks:
-                bank.open_row = None
-                bank.act_ready = max(bank.act_ready, end)
-            rank.next_refresh += self.t.tREFI
-            self.stats.refreshes += 1
-            if self.command_log is not None:
-                from repro.perfsim.command_log import Cmd
-
-                self._log(Cmd.REFRESH, start, rank_idx, -1)
+            self._apply_refresh(rank_idx)
 
     def pump(self, now: float) -> Tuple[List[Tuple[MemoryRequest, float]], Optional[float]]:
         """Issue requests until the bus horizon; return completions.
@@ -244,14 +249,32 @@ class Channel:
             self.stats.row_hits += 1
             cas_min = max(start, bank.cas_ready)
         else:
-            if bank.open_row is None:
-                self.stats.row_misses += 1
-                act_at = max(start, bank.act_ready)
-            else:
+            # An ACT may not land at or past the rank's pending refresh
+            # deadline: the refresh issues first (closing every row and
+            # pushing act_ready past tRFC) and the ACT is re-planned.
+            # Without this, an ACT scheduled beyond the deadline issued
+            # anyway and the refresh was applied retroactively on the
+            # *next* request -- closing a row that was opened after the
+            # logged refresh start and letting the ACT overlap the
+            # refresh window.  Row hits may still burst past the
+            # deadline: that is JEDEC refresh postponing, and the
+            # refresh catches up before the next ACT.
+            while True:
+                if bank.open_row is None:
+                    conflict = False
+                    act_at = max(start, bank.act_ready)
+                else:
+                    conflict = True
+                    pre_at = max(start, bank.pre_ready)
+                    act_at = max(pre_at + t.tRP, bank.act_ready)
+                act_at = max(act_at, rank.last_act + t.tRRD, rank.faw_ready(t))
+                if act_at < rank.next_refresh:
+                    break
+                self._apply_refresh(req.rank)
+            if conflict:
                 self.stats.row_conflicts += 1
-                pre_at = max(start, bank.pre_ready)
-                act_at = max(pre_at + t.tRP, bank.act_ready)
-            act_at = max(act_at, rank.last_act + t.tRRD, rank.faw_ready(t))
+            else:
+                self.stats.row_misses += 1
             rank.record_act(act_at)
             self.stats.activates += self.physical_scale
             bank.open_row = req.row

@@ -40,6 +40,19 @@ SERIAL_MODE_PENALTY_BUS_CYCLES = 100.0
 
 _CORE, _CHAN, _DONE = 0, 1, 2
 
+#: Engine implementations selectable via ``backend=`` / --perfsim-backend.
+PERFSIM_BACKENDS = ("scalar", "pipeline")
+
+
+def validate_perfsim_backend(backend: str) -> str:
+    """Validate a perfsim backend name, returning it (ValueError if bad)."""
+    if backend not in PERFSIM_BACKENDS:
+        raise ValueError(
+            f"unknown perfsim backend {backend!r}; "
+            f"choose from {', '.join(PERFSIM_BACKENDS)}"
+        )
+    return backend
+
 
 @dataclass
 class SimulationResult:
@@ -59,6 +72,10 @@ class SimulationResult:
     core_finish_times: List[float] = field(default_factory=list)
     #: Bus cycle time of the simulated standard (1.25 ns for DDR3-1600).
     bus_cycle_ns: float = 1.25
+    #: Per-channel command logs, attached only when the simulation ran
+    #: with ``log_commands=True`` (differential/JEDEC auditing).  Not
+    #: part of the checkpoint payload.
+    command_logs: Optional[list] = None
 
     @property
     def total_instructions(self) -> int:
@@ -79,6 +96,74 @@ class SimulationResult:
     def normalized_time(self, baseline: "SimulationResult") -> float:
         """Execution time relative to ``baseline`` (1.0 = equal)."""
         return self.exec_bus_cycles / baseline.exec_bus_cycles
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form for checkpoints (drops command logs).
+
+        ``from_payload`` round-trips it exactly: ints stay ints and
+        floats stay floats through JSON, so checkpoint records are
+        byte-stable regardless of which backend produced the result.
+        """
+        s = self.channel_stats
+        return {
+            "workload": self.workload,
+            "scheme_key": self.scheme_key,
+            "num_cores": self.num_cores,
+            "instructions_per_core": self.instructions_per_core,
+            "exec_bus_cycles": float(self.exec_bus_cycles),
+            "channel_stats": {
+                "activates": s.activates,
+                "row_hits": s.row_hits,
+                "row_misses": s.row_misses,
+                "row_conflicts": s.row_conflicts,
+                "read_bursts": s.read_bursts,
+                "write_bursts": s.write_bursts,
+                "bus_busy_cycles": float(s.bus_busy_cycles),
+                "refreshes": s.refreshes,
+                "reads_served": s.reads_served,
+                "writes_served": s.writes_served,
+                "sum_read_latency": float(s.sum_read_latency),
+            },
+            "reads": self.reads,
+            "writes": self.writes,
+            "companion_reads": self.companion_reads,
+            "companion_writes": self.companion_writes,
+            "serial_mode_entries": self.serial_mode_entries,
+            "core_finish_times": [float(f) for f in self.core_finish_times],
+            "bus_cycle_ns": float(self.bus_cycle_ns),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        stats = payload["channel_stats"]
+        return cls(
+            workload=payload["workload"],
+            scheme_key=payload["scheme_key"],
+            num_cores=payload["num_cores"],
+            instructions_per_core=payload["instructions_per_core"],
+            exec_bus_cycles=float(payload["exec_bus_cycles"]),
+            channel_stats=ChannelStats(
+                activates=stats["activates"],
+                row_hits=stats["row_hits"],
+                row_misses=stats["row_misses"],
+                row_conflicts=stats["row_conflicts"],
+                read_bursts=stats["read_bursts"],
+                write_bursts=stats["write_bursts"],
+                bus_busy_cycles=float(stats["bus_busy_cycles"]),
+                refreshes=stats["refreshes"],
+                reads_served=stats["reads_served"],
+                writes_served=stats["writes_served"],
+                sum_read_latency=float(stats["sum_read_latency"]),
+            ),
+            reads=payload["reads"],
+            writes=payload["writes"],
+            companion_reads=payload["companion_reads"],
+            companion_writes=payload["companion_writes"],
+            serial_mode_entries=payload["serial_mode_entries"],
+            core_finish_times=[float(f) for f in payload["core_finish_times"]],
+            bus_cycle_ns=float(payload["bus_cycle_ns"]),
+        )
 
 
 class _Engine:
@@ -351,28 +436,33 @@ class _Engine:
 
     def _observe(self, result: SimulationResult, wall_s: float) -> None:
         """Command counts and simulated-vs-wall-clock timing telemetry."""
-        reg = OBS.registry
-        reg.counter("perfsim.reads").inc(self.reads)
-        reg.counter("perfsim.writes").inc(self.writes)
-        reg.counter("perfsim.companion_reads").inc(self.companion_reads)
-        reg.counter("perfsim.companion_writes").inc(self.companion_writes)
-        reg.counter("perfsim.serial_mode_entries").inc(self.serial_entries)
-        reg.counter("perfsim.activates").inc(result.channel_stats.activates)
-        reg.counter("perfsim.refreshes").inc(result.channel_stats.refreshes)
-        reg.counter("perfsim.instructions").inc(result.total_instructions)
-        reg.timer("perfsim.run_s").observe(wall_s)
-        reg.gauge("perfsim.simulated_s").set(result.exec_seconds)
-        if result.exec_seconds > 0:
-            # >1 means the simulator runs slower than the simulated
-            # hardware -- the slowdown factor every perf PR tries to cut.
-            reg.gauge("perfsim.wall_per_simulated").set(
-                wall_s / result.exec_seconds
-            )
-        log.debug(
-            "%s/%s: %d bus cycles (%.3gs simulated) in %.3gs wall",
-            self.workload_name, self.config.key,
-            int(result.exec_bus_cycles), result.exec_seconds, wall_s,
+        _observe_simulation(result, wall_s)
+
+
+def _observe_simulation(result: SimulationResult, wall_s: float) -> None:
+    # Shared by both backends so they feed the same perfsim.* telemetry.
+    reg = OBS.registry
+    reg.counter("perfsim.reads").inc(result.reads)
+    reg.counter("perfsim.writes").inc(result.writes)
+    reg.counter("perfsim.companion_reads").inc(result.companion_reads)
+    reg.counter("perfsim.companion_writes").inc(result.companion_writes)
+    reg.counter("perfsim.serial_mode_entries").inc(result.serial_mode_entries)
+    reg.counter("perfsim.activates").inc(result.channel_stats.activates)
+    reg.counter("perfsim.refreshes").inc(result.channel_stats.refreshes)
+    reg.counter("perfsim.instructions").inc(result.total_instructions)
+    reg.timer("perfsim.run_s").observe(wall_s)
+    reg.gauge("perfsim.simulated_s").set(result.exec_seconds)
+    if result.exec_seconds > 0:
+        # >1 means the simulator runs slower than the simulated
+        # hardware -- the slowdown factor every perf PR tries to cut.
+        reg.gauge("perfsim.wall_per_simulated").set(
+            wall_s / result.exec_seconds
         )
+    log.debug(
+        "%s/%s: %d bus cycles (%.3gs simulated) in %.3gs wall",
+        result.workload, result.scheme_key,
+        int(result.exec_bus_cycles), result.exec_seconds, wall_s,
+    )
 
 
 def simulate_system(
@@ -381,6 +471,8 @@ def simulate_system(
     system: Optional[SystemTiming] = None,
     instructions_per_core: int = 200_000,
     seed: int = 2016,
+    backend: str = "scalar",
+    log_commands: bool = False,
 ) -> SimulationResult:
     """Run a workload under one scheme config.
 
@@ -388,7 +480,27 @@ def simulate_system(
     methodology (all cores execute the same benchmark) or a sequence of
     ``num_cores`` workloads for a multiprogrammed mix.  Execution time
     is when the slowest core retires its last instruction.
+
+    ``backend`` selects the engine: ``"scalar"`` (this module's golden
+    reference) or ``"pipeline"`` (the flattened transliteration in
+    :mod:`repro.perfsim.pipeline`, bit-identical and faster).  With
+    ``log_commands=True`` the result carries per-channel
+    :class:`~repro.perfsim.command_log.CommandLog` objects.
     """
+    validate_perfsim_backend(backend)
     system = system or SystemTiming()
+    if backend == "pipeline":
+        from repro.perfsim.pipeline import simulate_system_pipeline
+
+        return simulate_system_pipeline(
+            workload, config, system, instructions_per_core, seed,
+            log_commands=log_commands,
+        )
     engine = _Engine(workload, config, system, instructions_per_core, seed)
-    return engine.run()
+    if log_commands:
+        for channel in engine.channels:
+            channel.enable_command_log()
+    result = engine.run()
+    if log_commands:
+        result.command_logs = [ch.command_log for ch in engine.channels]
+    return result

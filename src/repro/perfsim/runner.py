@@ -3,21 +3,37 @@
 Runs (workload, scheme) grids, normalises against the ECC-DIMM
 baseline, and formats the per-benchmark / geometric-mean tables the
 paper's figures plot.
+
+Grid cells are independent simulations, so :func:`run_suite` fans them
+out on the shard pool (``workers > 1``) and, when a
+:class:`~repro.runtime.executor.RuntimePolicy` is active (the CLI's
+``--checkpoint``/``--resume``/``--keep-going`` flags), through the
+fault-tolerant executor with per-cell checkpointing.  Cell results are
+deterministic for any worker count and either engine backend, so the
+checkpoint fingerprint excludes both.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs import span
 from repro.obs.progress import progress
 from repro.perfsim.configs import SCHEME_CONFIGS, SchemeConfig
-from repro.perfsim.engine import SimulationResult, simulate_system
+from repro.perfsim.engine import (
+    SimulationResult,
+    simulate_system,
+    validate_perfsim_backend,
+)
 from repro.perfsim.power import PowerBreakdown, PowerModel
 from repro.perfsim.timing import SystemTiming
 from repro.perfsim.workloads import WORKLOADS, Workload, workload_by_name
+from repro.faultsim.parallel import run_sharded, validate_workers
+from repro.runtime.checkpoint import RunFingerprint, config_digest
+from repro.runtime.executor import RuntimePolicy, current_policy, run_resilient
+from repro.version import __version__
 
 
 @dataclass
@@ -34,6 +50,41 @@ class BenchmarkRun:
         """Simulated execution time in DRAM bus cycles."""
         return self.result.exec_bus_cycles
 
+    def to_payload(self) -> dict:
+        """JSON-serialisable checkpoint payload for one grid cell.
+
+        Self-describing (workload and scheme ride along), so a grid
+        resumed under ``--keep-going`` can be reassembled even when
+        quarantined cells leave holes in the plan-order list.
+        """
+        return {
+            "workload": self.workload,
+            "scheme_key": self.scheme_key,
+            "result": self.result.to_payload(),
+            "power": {
+                "background": float(self.power.background),
+                "activate": float(self.power.activate),
+                "read_write": float(self.power.read_write),
+                "refresh": float(self.power.refresh),
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BenchmarkRun":
+        """Rebuild a grid cell from :meth:`to_payload` output."""
+        power = payload["power"]
+        return cls(
+            workload=payload["workload"],
+            scheme_key=payload["scheme_key"],
+            result=SimulationResult.from_payload(payload["result"]),
+            power=PowerBreakdown(
+                background=float(power["background"]),
+                activate=float(power["activate"]),
+                read_write=float(power["read_write"]),
+                refresh=float(power["refresh"]),
+            ),
+        )
+
 
 def run_benchmark(
     workload: Workload | str,
@@ -42,8 +93,13 @@ def run_benchmark(
     instructions_per_core: int = 200_000,
     seed: int = 2016,
     power_model: Optional[PowerModel] = None,
+    backend: str = "scalar",
 ) -> BenchmarkRun:
-    """Simulate one (workload, scheme) pair and compute its power."""
+    """Simulate one (workload, scheme) pair and compute its power.
+
+    ``backend`` picks the engine (``"scalar"`` golden reference or the
+    bit-identical ``"pipeline"``; see :mod:`repro.perfsim.pipeline`).
+    """
     if isinstance(workload, str):
         workload = workload_by_name(workload)
     if isinstance(config, str):
@@ -51,11 +107,67 @@ def run_benchmark(
     system = system or SystemTiming()
     with span("perfsim.benchmark_s"):
         result = simulate_system(
-            workload, config, system, instructions_per_core, seed
+            workload, config, system, instructions_per_core, seed,
+            backend=backend,
         )
         model = power_model or PowerModel(timing=system.ddr)
         power = model.compute(result, config)
     return BenchmarkRun(workload.name, config.key, result, power)
+
+
+def _suite_cell(
+    workload: Workload,
+    scheme_key: str,
+    system: SystemTiming,
+    instructions_per_core: int,
+    seed: int,
+    backend: str,
+) -> BenchmarkRun:
+    """Simulate one grid cell (module-level so the spawn pool can pickle)."""
+    return run_benchmark(
+        workload,
+        SCHEME_CONFIGS[scheme_key],
+        system=system,
+        instructions_per_core=instructions_per_core,
+        seed=seed,
+        backend=backend,
+    )
+
+
+def suite_fingerprint(
+    scheme_keys: Sequence[str],
+    workloads: Sequence[Workload],
+    instructions_per_core: int,
+    seed: int,
+    system: SystemTiming,
+) -> RunFingerprint:
+    """Run-identity fingerprint of one performance grid.
+
+    Everything that can change a cell's contents goes into the config
+    hash -- the scheme list, every workload's behaviour parameters, the
+    instruction budget and the full machine timing.  The engine backend
+    and worker count are deliberately *excluded*: cells are bit-identical
+    across both (enforced by :mod:`repro.perfsim.differential`), so a
+    grid checkpointed under one backend resumes under the other.
+    """
+    description = {
+        "schemes": list(scheme_keys),
+        "workloads": [
+            [w.name, w.mpki, w.row_buffer_hit_rate, w.write_fraction,
+             w.bank_locality, w.footprint_lines]
+            for w in workloads
+        ],
+        "instructions_per_core": instructions_per_core,
+        "system": asdict(system),
+    }
+    return RunFingerprint(
+        kind="perfsim.grid",
+        seed=seed,
+        total=len(scheme_keys) * len(workloads),
+        shard_size=1,
+        config_hash=config_digest(description),
+        code_version=__version__,
+    )
 
 
 def run_suite(
@@ -64,24 +176,76 @@ def run_suite(
     instructions_per_core: int = 200_000,
     seed: int = 2016,
     system: Optional[SystemTiming] = None,
+    backend: str = "scalar",
+    workers: int = 1,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> Dict[str, Dict[str, BenchmarkRun]]:
-    """Run a grid: {workload: {scheme_key: BenchmarkRun}}."""
-    workloads = list(workloads) if workloads is not None else WORKLOADS
+    """Run a grid: {workload: {scheme_key: BenchmarkRun}}.
+
+    Cells fan out one per shard on the PR-2 pool (``workers``), with
+    results assembled in plan order so the grid is identical for any
+    worker count.  ``runtime`` (or the ambient policy installed by
+    :func:`repro.runtime.use_policy`) routes cells through the
+    fault-tolerant executor: per-cell checkpoints, resume, retry and
+    quarantine.  ``backend`` selects the engine per cell
+    (``scalar``/``pipeline``; results are bit-identical).
+    """
+    validate_perfsim_backend(backend)
+    workers = validate_workers(workers)
+    workloads = list(workloads) if workloads is not None else list(WORKLOADS)
+    system = system or SystemTiming()
+    cells: List[Tuple[Workload, str]] = [
+        (workload, key) for workload in workloads for key in scheme_keys
+    ]
+    shard_args = [
+        (workload, key, system, instructions_per_core, seed, backend)
+        for workload, key in cells
+    ]
+    policy = runtime if runtime is not None else current_policy()
+    reporter = progress(len(cells), "perf grid")
+
+    def _cell_done(_i: int) -> None:
+        reporter.update()
+
+    try:
+        with span(
+            "perfsim.suite",
+            backend=backend,
+            workers=workers,
+            cells=len(cells),
+        ):
+            if policy is not None:
+                runs, _outcome = run_resilient(
+                    _suite_cell,
+                    shard_args,
+                    workers=workers,
+                    fingerprint=suite_fingerprint(
+                        scheme_keys, workloads, instructions_per_core,
+                        seed, system,
+                    ),
+                    policy=policy,
+                    encode=lambda r: r.to_payload(),
+                    decode=BenchmarkRun.from_payload,
+                    on_shard_done=_cell_done,
+                )
+            else:
+                runs = run_sharded(
+                    _suite_cell,
+                    shard_args,
+                    workers=workers,
+                    on_shard_done=_cell_done,
+                )
+    finally:
+        reporter.close()
+
+    # Assemble from each run's own labels (not plan-order zip): under
+    # --keep-going, quarantined cells leave holes in the result list.
     grid: Dict[str, Dict[str, BenchmarkRun]] = {}
-    reporter = progress(len(workloads) * len(scheme_keys), "perf grid")
-    for workload in workloads:
-        row: Dict[str, BenchmarkRun] = {}
-        for key in scheme_keys:
-            row[key] = run_benchmark(
-                workload,
-                key,
-                system=system,
-                instructions_per_core=instructions_per_core,
-                seed=seed,
-            )
-            reporter.update()
-        grid[workload.name] = row
-    reporter.close()
+    for workload, _key in cells:
+        grid.setdefault(workload.name, {})
+    for run in runs:
+        if run is not None:
+            grid[run.workload][run.scheme_key] = run
     return grid
 
 

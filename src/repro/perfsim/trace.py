@@ -23,6 +23,8 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
+from functools import lru_cache
+from math import log
 from typing import Iterator, List, Optional
 
 from repro.perfsim.requests import RequestType
@@ -134,3 +136,229 @@ class SyntheticTrace:
                 break
             ops.append(op)
         return ops
+
+
+# ---------------------------------------------------------------------------
+# Bulk trace generation for the pipeline backend
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class TraceArrays:
+    """A whole (workload, core) trace as parallel column arrays.
+
+    The struct-of-arrays form the pipeline backend consumes: entry ``i``
+    of every list describes the ``i``-th memory operation.  ``writes``
+    holds 0/1 ints (1 = write-back).  ``ops`` carries the same trace as
+    per-op row tuples ``(position, write, channel, global_rank,
+    global_bank, rank, bank, row)`` with the flattened indices the
+    event loop consumes precomputed (``global_rank = channel * ranks +
+    rank``; ``global_bank = global_rank * banks + bank``), so issuing
+    one request costs a single list index instead of six.  Instances
+    are shared through an LRU cache keyed on the full generation
+    identity, so callers must treat the lists as read-only.
+    """
+
+    positions: List[int]
+    writes: List[int]
+    channels: List[int]
+    ranks: List[int]
+    banks: List[int]
+    rows: List[int]
+    ops: List[tuple]
+
+    def __len__(self) -> int:
+        """Number of memory operations in the trace."""
+        return len(self.positions)
+
+
+#: Unconsumed raw words kept ahead of the replay cursor.  One trace
+#: iteration draws at most ~14 words plus (vanishingly improbable)
+#: rejection-loop extras, so this margin is never outrun in practice.
+_WORD_MARGIN = 4096
+
+
+def _mt_raw_stream(rng: random.Random):
+    """Clone ``rng``'s Mersenne-Twister state into a numpy generator.
+
+    ``random.Random`` and :class:`numpy.random.MT19937` implement the
+    same MT19937 core, so loading the CPython state (624 key words plus
+    the cursor) into numpy yields a generator whose ``random_raw``
+    output is exactly the 32-bit word stream ``rng.getrandbits(32)``
+    would produce -- the property the pipeline backend's bulk trace
+    replay is built on (verified by ``tests/unit/test_perfsim_golden``
+    and the differential suite).
+    """
+    import numpy as np
+
+    state = rng.getstate()[1]
+    mt = np.random.MT19937()
+    mt.state = {
+        "bit_generator": "MT19937",
+        "state": {
+            "key": np.array(state[:-1], dtype=np.uint32),
+            "pos": state[-1],
+        },
+    }
+    return mt
+
+
+@lru_cache(maxsize=512)
+def build_trace_arrays(
+    workload: Workload,
+    instructions: int,
+    channels: int,
+    ranks: int,
+    banks: int,
+    rows: int,
+    columns: int,
+    core: int = 0,
+    seed: int = 2016,
+) -> TraceArrays:
+    """Generate one (workload, core) trace as :class:`TraceArrays`.
+
+    Bit-identical to iterating :class:`SyntheticTrace` with the same
+    parameters: the Mersenne-Twister word stream is pulled in bulk
+    through numpy (:func:`_mt_raw_stream`) and the CPython consumption
+    pattern -- ``expovariate``'s two words, ``random``'s two words and
+    ``randrange``'s shift-and-reject loop -- is replayed exactly, so
+    every scheme config (and both engine backends) sees the same
+    instruction stream.  Results are LRU-cached on the full generation
+    identity; a grid run touches each (workload, core, logical
+    geometry) trace once instead of once per scheme.
+    """
+    w = workload
+    name_salt = zlib.crc32(w.name.encode()) & 0xFFFF
+    rng = random.Random((seed << 16) ^ (core * 7919) ^ name_salt)
+    mt = _mt_raw_stream(rng)
+    mean_gap = 1000.0 / w.mpki if w.mpki > 0 else float("inf")
+    p_op = 0.0 if mean_gap == float("inf") else 1.0 / (1.0 + mean_gap)
+    est_words = int(instructions * p_op) * 16 + 256
+    words: List[int] = mt.random_raw(max(_WORD_MARGIN * 2, est_words)).tolist()
+    limit = len(words) - _WORD_MARGIN
+    idx = 0
+    # random.random() reconstructed from two raw words (CPython's
+    # genrand_res53); the multiply by an exact power of two equals
+    # CPython's division by 2**53 bit for bit.
+    inv53 = 1.0 / 9007199254740992.0
+
+    def rand01() -> float:
+        nonlocal idx
+        a = words[idx] >> 5
+        b = words[idx + 1] >> 6
+        idx += 2
+        return (a * 67108864.0 + b) * inv53
+
+    def randn(n: int, shift: int) -> int:
+        # _randbelow_with_getrandbits: one word >> (32 - k) per
+        # getrandbits(k), rejected while >= n.
+        nonlocal idx
+        r = words[idx] >> shift
+        idx += 1
+        while r >= n:
+            r = words[idx] >> shift
+            idx += 1
+        return r
+
+    sh_ch = 32 - channels.bit_length()
+    sh_rk = 32 - ranks.bit_length()
+    sh_bk = 32 - banks.bit_length()
+    sh_row = 32 - rows.bit_length()
+    sh_col = 32 - columns.bit_length()
+
+    position = 0
+    channel = randn(channels, sh_ch)
+    rank = randn(ranks, sh_rk)
+    bank = randn(banks, sh_bk)
+    row = randn(rows, sh_row)
+    column = randn(columns, sh_col)
+
+    rbhr = w.row_buffer_hit_rate
+    locality = w.bank_locality
+    wf = w.write_fraction
+    out_pos: List[int] = []
+    out_wr: List[int] = []
+    out_ch: List[int] = []
+    out_rk: List[int] = []
+    out_bk: List[int] = []
+    out_row: List[int] = []
+
+    pos_append = out_pos.append
+    wr_append = out_wr.append
+    ch_append = out_ch.append
+    rk_append = out_rk.append
+    bk_append = out_bk.append
+    row_append = out_row.append
+
+    # The hot loop replays the draws inline (no helper calls): each
+    # random() is two raw words, each randrange one word per
+    # shift-and-reject attempt -- the exact CPython consumption order.
+    while True:
+        if idx > limit:
+            words.extend(mt.random_raw(16384).tolist())
+            limit = len(words) - _WORD_MARGIN
+        u = ((words[idx] >> 5) * 67108864.0 + (words[idx + 1] >> 6)) * inv53
+        idx += 2
+        gap = int(-log(1.0 - u) * mean_gap) if mean_gap > 0 else 0
+        position += gap + 1
+        if position >= instructions:
+            break
+        u = ((words[idx] >> 5) * 67108864.0 + (words[idx + 1] >> 6)) * inv53
+        idx += 2
+        if u < rbhr and column + 1 < columns:
+            column += 1
+        else:
+            u = ((words[idx] >> 5) * 67108864.0
+                 + (words[idx + 1] >> 6)) * inv53
+            idx += 2
+            if u >= locality:
+                r = words[idx] >> sh_ch
+                idx += 1
+                while r >= channels:
+                    r = words[idx] >> sh_ch
+                    idx += 1
+                channel = r
+                r = words[idx] >> sh_rk
+                idx += 1
+                while r >= ranks:
+                    r = words[idx] >> sh_rk
+                    idx += 1
+                rank = r
+                r = words[idx] >> sh_bk
+                idx += 1
+                while r >= banks:
+                    r = words[idx] >> sh_bk
+                    idx += 1
+                bank = r
+            r = words[idx] >> sh_row
+            idx += 1
+            while r >= rows:
+                r = words[idx] >> sh_row
+                idx += 1
+            row = r
+            r = words[idx] >> sh_col
+            idx += 1
+            while r >= columns:
+                r = words[idx] >> sh_col
+                idx += 1
+            column = r
+        u = ((words[idx] >> 5) * 67108864.0 + (words[idx + 1] >> 6)) * inv53
+        idx += 2
+        pos_append(position)
+        wr_append(1 if u < wf else 0)
+        ch_append(channel)
+        rk_append(rank)
+        bk_append(bank)
+        row_append(row)
+
+    out_r = [c * ranks + k for c, k in zip(out_ch, out_rk)]
+    out_gb = [r * banks + b for r, b in zip(out_r, out_bk)]
+    return TraceArrays(
+        positions=out_pos,
+        writes=out_wr,
+        channels=out_ch,
+        ranks=out_rk,
+        banks=out_bk,
+        rows=out_row,
+        ops=list(zip(out_pos, out_wr, out_ch, out_r, out_gb, out_rk,
+                     out_bk, out_row)),
+    )

@@ -153,6 +153,66 @@ class TestRefresh:
         assert ch.stats.row_hits == 0
 
 
+class TestRefreshDeadline:
+    """Regression: ACTs may not land inside a pending refresh window.
+
+    Before the fix, an ACT whose computed issue time fell at or past
+    ``rank.next_refresh`` was issued anyway; the refresh was applied
+    retroactively on the *next* request, closing the just-opened row
+    and leaving an ACT logged inside the refresh window.
+    """
+
+    def test_act_crossing_deadline_waits_for_refresh(self):
+        from repro.perfsim.command_log import Cmd, validate_log
+
+        t = SystemTiming().ddr
+        ch = make_channel(ranks=1)
+        log = ch.enable_command_log()
+        serve_one(ch, req(row=3))
+        # A row conflict arriving just before the (single-rank) deadline
+        # at tREFI: its ACT lands past the deadline, so the refresh must
+        # issue first and the ACT be pushed past the window.
+        late = t.tREFI - 5.0
+        serve_one(ch, req(row=9, arrival=late), now=late)
+        assert ch.stats.refreshes == 1
+        acts = [c for c in log.commands if c.cmd is Cmd.ACT]
+        refresh = [c for c in log.commands if c.cmd is Cmd.REFRESH][0]
+        assert refresh.time == pytest.approx(t.tREFI)
+        assert acts[-1].time >= refresh.time + t.tRFC - 1e-9
+        assert validate_log(log, t) == []
+
+    def test_row_hit_may_postpone_refresh(self):
+        from repro.perfsim.command_log import Cmd, validate_log
+
+        t = SystemTiming().ddr
+        ch = make_channel(ranks=1)
+        log = ch.enable_command_log()
+        serve_one(ch, req(row=3))
+        # A row hit just before the deadline bursts past it (JEDEC
+        # refresh postponing) -- no refresh yet, and still lint-clean.
+        late = t.tREFI - 2.0
+        serve_one(ch, req(row=3, column=5, arrival=late), now=late)
+        assert ch.stats.refreshes == 0
+        assert ch.stats.row_hits == 1
+        # The postponed refresh catches up before the next ACT.
+        after = t.tREFI + 10.0
+        serve_one(ch, req(row=7, arrival=after), now=after)
+        assert ch.stats.refreshes == 1
+        assert validate_log(log, t) == []
+
+    def test_validator_flags_act_inside_refresh_window(self):
+        from repro.perfsim.command_log import (
+            Cmd, CommandLog, LoggedCommand, validate_log,
+        )
+
+        t = SystemTiming().ddr
+        log = CommandLog()
+        log.add(LoggedCommand(Cmd.REFRESH, 1000.0, 0, -1))
+        log.add(LoggedCommand(Cmd.ACT, 1000.0 + t.tRFC / 2, 0, 0, 5))
+        constraints = {v.constraint for v in validate_log(log, t)}
+        assert "tRFC" in constraints
+
+
 class TestLockstepConfigs:
     def test_chipkill_counts_physical_activates(self):
         ch = make_channel(CHIPKILL, ranks=1)

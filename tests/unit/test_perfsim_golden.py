@@ -1,0 +1,88 @@
+"""Golden-corpus regression test for the performance simulator.
+
+``tests/data/perfsim_golden.json`` records SHA-256 digests of the
+scalar engine's exact observables -- checkpoint payload, per-channel
+JEDEC command streams and derived power -- for a fixed set of
+(workload, scheme, instructions, seed) cells covering all 11 scheme
+configs.  This test replays every entry through **both** engine
+backends and requires each to reproduce the recorded digest, pinning
+simulator output across refactors of either path.  Regenerate
+intentionally with ``tools/gen_perfsim_golden.py``.
+"""
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS_PATH = REPO_ROOT / "tests" / "data" / "perfsim_golden.json"
+
+_spec = importlib.util.spec_from_file_location(
+    "gen_perfsim_golden", REPO_ROOT / "tools" / "gen_perfsim_golden.py"
+)
+gen_perfsim_golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gen_perfsim_golden)
+
+from repro.perfsim.configs import SCHEME_CONFIGS  # noqa: E402
+
+CORPUS = json.loads(CORPUS_PATH.read_text())["entries"]
+CASE_IDS = [
+    f"{e['workload']}-{e['scheme']}-seed{e['seed']}-n{e['instructions']}"
+    for e in CORPUS
+]
+
+
+class TestGoldenCorpus:
+    def test_corpus_covers_all_scheme_configs(self):
+        assert {e["scheme"] for e in CORPUS} == set(SCHEME_CONFIGS)
+
+    @pytest.mark.parametrize("backend", ["scalar", "pipeline"])
+    @pytest.mark.parametrize("entry", CORPUS, ids=CASE_IDS)
+    def test_backend_reproduces_recorded_digest(self, entry, backend):
+        case = {k: entry[k] for k in ("workload", "scheme", "seed",
+                                      "instructions")}
+        _, result, power = gen_perfsim_golden.run_case(case, backend)
+        assert result.exec_bus_cycles == entry["exec_bus_cycles"]
+        assert result.reads == entry["reads"]
+        assert result.writes == entry["writes"]
+        assert sum(len(log.commands) for log in result.command_logs) == (
+            entry["commands"]
+        )
+        assert gen_perfsim_golden.digest_of(result, power) == entry["digest"], (
+            f"{backend} backend diverged from the recorded golden digest "
+            f"for ({entry['workload']}, {entry['scheme']}, "
+            f"seed {entry['seed']}); if the change is intentional, "
+            "regenerate with tools/gen_perfsim_golden.py"
+        )
+
+    def test_digest_is_canonical_sha256(self):
+        entry = CORPUS[0]
+        case = {k: entry[k] for k in ("workload", "scheme", "seed",
+                                      "instructions")}
+        _, result, power = gen_perfsim_golden.run_case(case, "scalar")
+        commands = [
+            [
+                [c.cmd.name, c.time, c.rank, c.bank, c.row,
+                 c.data_start, c.data_end]
+                for c in log.commands
+            ]
+            for log in result.command_logs
+        ]
+        doc = {
+            "result": result.to_payload(),
+            "commands": commands,
+            "power": {
+                "background": power.background,
+                "activate": power.activate,
+                "read_write": power.read_write,
+                "refresh": power.refresh,
+            },
+        }
+        canonical = json.dumps(doc, sort_keys=True)
+        assert (
+            gen_perfsim_golden.digest_of(result, power)
+            == hashlib.sha256(canonical.encode()).hexdigest()
+        )

@@ -4,8 +4,9 @@
 The ledger keeps the reproduction's performance honest across PRs.
 ``record`` times a small fixed set of hot paths (scalar ECC decode,
 batched ECC decode, scalar and vectorized Monte-Carlo adjudication,
-and the analytical Markov solver vs vectorized Monte-Carlo on the
-full Fig-7 sweep) and writes a ``BENCH_<stamp>.json`` snapshot into
+the analytical Markov solver vs vectorized Monte-Carlo on the full
+Fig-7 sweep, and the scalar vs event-driven pipeline perfsim engines
+on a Fig-11 cell) and writes a ``BENCH_<stamp>.json`` snapshot into
 ``benchmarks/snapshots/``; one snapshot per landed optimisation is
 committed alongside the code.  ``compare`` re-times the same paths and
 diffs them against the latest committed snapshot (or an explicit
@@ -174,12 +175,52 @@ def _bench_markov(num_systems: int = 4_000_000) -> Dict[str, Dict[str, object]]:
     }
 
 
+def _bench_perfsim(instructions: int = 50_000) -> Dict[str, Dict[str, object]]:
+    """Time the scalar vs event-driven pipeline perfsim engines.
+
+    One memory-heavy Fig-11 cell (mcf under XED) per timing, trace
+    cache warmed first so the ratio tracks the event loop itself.  The
+    two engines are bit-identical (enforced by the golden corpus and
+    ``repro.perfsim.differential``), so the ratio is the ledger's guard
+    against the pipeline backend silently losing its constant-factor
+    win over the golden scalar walk (~4x in-process; grid fan-out and
+    trace-cache amortisation compound it at paper scale).
+    """
+    from repro.perfsim import SCHEME_CONFIGS, SystemTiming, simulate_system
+    from repro.perfsim.workloads import workload_by_name
+
+    workload = workload_by_name("mcf")
+    config = SCHEME_CONFIGS["xed"]
+    system = SystemTiming()
+
+    def run(backend: str) -> None:
+        simulate_system(workload, config, system, instructions,
+                        backend=backend)
+
+    run("pipeline")  # warm the shared trace cache
+    pipeline_s = _time_call(lambda: run("pipeline"))
+    scalar_s = _time_call(lambda: run("scalar"), repeats=2)
+    return {
+        "perfsim.scalar_s": {
+            "value": scalar_s, "cls": "wall", "better": "lower",
+        },
+        "perfsim.pipeline_s": {
+            "value": pipeline_s, "cls": "wall", "better": "lower",
+        },
+        "perfsim.pipeline_speedup": {
+            "value": scalar_s / max(pipeline_s, 1e-12),
+            "cls": "ratio", "better": "higher",
+        },
+    }
+
+
 def collect_metrics() -> Dict[str, Dict[str, object]]:
     """Run every ledger benchmark and return the metric mapping."""
     metrics: Dict[str, Dict[str, object]] = {}
     metrics.update(_bench_ecc())
     metrics.update(_bench_faultsim())
     metrics.update(_bench_markov())
+    metrics.update(_bench_perfsim())
     return metrics
 
 

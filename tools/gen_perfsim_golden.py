@@ -1,0 +1,161 @@
+"""Regenerate the performance-simulator golden corpus.
+
+Runs the **scalar** engine (the golden model) over a fixed set of
+(workload, scheme, instructions, seed) cells and records a SHA-256
+digest of each cell's canonical observables -- the full
+``SimulationResult.to_payload()`` dict, the per-channel JEDEC command
+streams and the derived power breakdown -- plus headline numbers for
+human eyes.  The tier-1 test ``tests/unit/test_perfsim_golden.py``
+replays every entry through *both* backends (scalar and pipeline) and
+requires the digests to match, pinning the simulator's exact output
+across refactors of either path.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_perfsim_golden.py
+
+Rewrites ``tests/data/perfsim_golden.json`` in place.  Only run it
+when an *intentional* behaviour change invalidates the corpus, and
+say so in the commit message.
+"""
+
+import hashlib
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.perfsim.configs import SCHEME_CONFIGS  # noqa: E402
+from repro.perfsim.engine import simulate_system  # noqa: E402
+from repro.perfsim.power import PowerModel  # noqa: E402
+from repro.perfsim.timing import SystemTiming  # noqa: E402
+from repro.perfsim.workloads import workload_by_name  # noqa: E402
+
+OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "data"
+    / "perfsim_golden.json"
+)
+
+#: The corpus plan: every one of the 11 scheme configs appears at least
+#: once, spread over workloads with very different memory behaviour
+#: (streaming, pointer-chasing, write-heavy, commercial), plus seed and
+#: instruction-budget variants so the RNG companion draws and refresh
+#: cadence are pinned at more than one horizon.
+CASES = [
+    {"workload": "libquantum", "scheme": "ecc_dimm"},
+    {"workload": "mcf", "scheme": "xed"},
+    {"workload": "lbm", "scheme": "xed_scaling"},
+    {"workload": "milc", "scheme": "chipkill"},
+    {"workload": "comm1", "scheme": "xed_chipkill"},
+    {"workload": "omnetpp", "scheme": "double_chipkill"},
+    {"workload": "soplex", "scheme": "extra_burst_chipkill"},
+    {"workload": "mummer", "scheme": "extra_txn_chipkill"},
+    {"workload": "fluid", "scheme": "extra_burst_double_chipkill"},
+    {"workload": "comm2", "scheme": "extra_txn_double_chipkill"},
+    {"workload": "bwaves", "scheme": "lotecc"},
+    {"workload": "mcf", "scheme": "xed", "seed": 7},
+    {"workload": "libquantum", "scheme": "ecc_dimm", "instructions": 12_000},
+    {"workload": "lbm", "scheme": "xed_chipkill", "seed": 31,
+     "instructions": 9_000},
+]
+
+BASE = {
+    "instructions": 6_000,
+    "seed": 2016,
+}
+
+
+def run_case(case, backend):
+    """Simulate one corpus cell on the requested backend."""
+    merged = {**BASE, **case}
+    system = SystemTiming()
+    config = SCHEME_CONFIGS[merged["scheme"]]
+    result = simulate_system(
+        workload_by_name(merged["workload"]),
+        config,
+        system,
+        instructions_per_core=merged["instructions"],
+        seed=merged["seed"],
+        backend=backend,
+        log_commands=True,
+    )
+    power = PowerModel(timing=system.ddr).compute(result, config)
+    return merged, result, power
+
+
+def digest_of(result, power):
+    """SHA-256 over the cell's canonical observable JSON.
+
+    Covers the checkpoint payload, every logged command of every
+    channel, and the four power components -- the same surface the
+    differential harness compares.
+    """
+    commands = [
+        [
+            [c.cmd.name, c.time, c.rank, c.bank, c.row,
+             c.data_start, c.data_end]
+            for c in log.commands
+        ]
+        for log in (result.command_logs or [])
+    ]
+    doc = {
+        "result": result.to_payload(),
+        "commands": commands,
+        "power": {
+            "background": power.background,
+            "activate": power.activate,
+            "read_write": power.read_write,
+            "refresh": power.refresh,
+        },
+    }
+    canonical = json.dumps(doc, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def main():
+    """Run every corpus case on the scalar engine and write the file."""
+    entries = []
+    for case in CASES:
+        merged, result, power = run_case(case, "scalar")
+        entries.append(
+            {
+                **merged,
+                "digest": digest_of(result, power),
+                "exec_bus_cycles": result.exec_bus_cycles,
+                "reads": result.reads,
+                "writes": result.writes,
+                "commands": sum(
+                    len(log.commands) for log in result.command_logs
+                ),
+            }
+        )
+        print(
+            f"{merged['workload']:>12} {merged['scheme']:<28} "
+            f"seed={merged['seed']:<5} cycles={result.exec_bus_cycles:<10g} "
+            f"digest={entries[-1]['digest'][:12]}"
+        )
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "comment": (
+                    "Golden digests of scalar-engine perfsim cells "
+                    "(payload + command logs + power); regenerate with "
+                    "tools/gen_perfsim_golden.py"
+                ),
+                "entries": entries,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {len(entries)} entries to {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()
