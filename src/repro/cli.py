@@ -14,6 +14,10 @@ Sub-commands mirror the library's layers:
 * ``repro collision --bits 32`` -- catch-word collision analytics.
 * ``repro campaign --kind xed --trials 40 --chips 1`` -- behavioural
   fault-injection campaigns.
+* ``repro coordinate --schemes xed --bind 127.0.0.1:7653`` /
+  ``repro work --coordinator HOST:7653`` -- distribute one reliability
+  run across machines via shard-range leases; the merged result is
+  bit-identical to the single-machine run (see docs/robustness.md).
 
 * ``repro obs summarize|inspect|diff`` -- post-run analysis of exported
   traces, metrics and checkpoints (see docs/observability.md).
@@ -56,7 +60,7 @@ from __future__ import annotations
 import argparse
 import shlex
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.version import __version__
 
@@ -220,6 +224,30 @@ def _chaos_spec(value: str):
         return parse_chaos_spec(value)
     except ChaosSpecError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _host_port(value: str) -> "Tuple[str, int]":
+    """argparse type for ``HOST:PORT`` endpoints (``--bind``,
+    ``--coordinator``).
+
+    The port must be 0..65535; port 0 asks the kernel for an ephemeral
+    port (useful for loopback tests -- the coordinator prints the bound
+    address on stderr).
+    """
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"invalid endpoint {value!r}: expected HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid port in {value!r}: expected an integer"
+        )
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError("port must be in 0..65535")
+    return host, port
 
 
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
@@ -471,6 +499,91 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(camp)
     _add_runtime_flags(camp)
 
+    coord = add_parser(
+        "coordinate",
+        help="serve one reliability run to distributed workers as "
+             "shard-range leases (see docs/robustness.md)",
+    )
+    coord.add_argument(
+        "--schemes", nargs=1, default=["xed"],
+        choices=sorted(RELIABILITY_SCHEMES),
+        help="scheme to simulate (exactly one per coordinate run)",
+    )
+    coord.add_argument("--systems", type=int, default=200_000)
+    coord.add_argument("--years", type=float, default=7.0)
+    coord.add_argument("--scaling-rate", type=float, default=0.0)
+    coord.add_argument("--scrub-hours", type=float, default=None)
+    coord.add_argument("--seed", type=int, default=2016)
+    coord.add_argument(
+        "--shard-size", type=_positive_int, default=None, metavar="N",
+        help="systems per shard / per lease unit (default: engine-"
+             "chosen; must match the single-machine run you want to "
+             "reproduce bit-identically)",
+    )
+    _add_ecc_backend_flag(coord)
+    _add_faultsim_backend_flag(coord)
+    group = coord.add_argument_group("coordination")
+    group.add_argument(
+        "--bind", type=_host_port, default=("127.0.0.1", 7653),
+        metavar="HOST:PORT",
+        help="listen address for workers (default 127.0.0.1:7653; "
+             "port 0 picks an ephemeral port, printed on stderr)",
+    )
+    group.add_argument(
+        "--lease-shards", type=_positive_int, default=None, metavar="N",
+        help="shards granted per lease (default 4; larger leases "
+             "amortise round-trips, smaller ones rebalance faster)",
+    )
+    group.add_argument(
+        "--lease-timeout", type=_timeout_seconds, default=None,
+        metavar="S",
+        help="seconds before an unacknowledged lease expires and its "
+             "shards are requeued (default 120)",
+    )
+    _add_runtime_flags(coord)
+
+    work = add_parser(
+        "work",
+        help="serve a repro coordinate run: lease shards, simulate, "
+             "stream digest-verified results back",
+    )
+    work.add_argument(
+        "--coordinator", type=_host_port, required=True,
+        metavar="HOST:PORT",
+        help="address of the repro coordinate process to serve",
+    )
+    work.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="local worker processes per lease (default 1)",
+    )
+    work.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="name reported to the coordinator (default worker-<pid>)",
+    )
+    work.add_argument(
+        "--shard-timeout", type=_timeout_seconds, default=None,
+        metavar="S",
+        help="kill and retry any local shard still running after S "
+             "seconds",
+    )
+    work.add_argument(
+        "--max-retries", type=_retry_count, default=None, metavar="N",
+        help="local retries per shard before reporting it failed to "
+             "the coordinator (default 3)",
+    )
+    work.add_argument(
+        "--connect-timeout", type=_timeout_seconds, default=30.0,
+        metavar="S",
+        help="seconds to keep dialling the coordinator before giving "
+             "up (default 30)",
+    )
+    work.add_argument(
+        "--chaos", type=_chaos_spec, default=None, metavar="SPEC",
+        help="developer flag: deterministically inject worker and "
+             "network failures, e.g. 'crash=1;partition=2;drop=3' "
+             "(see docs/robustness.md)",
+    )
+
     from repro.obs.cli import add_obs_parser
 
     add_obs_parser(sub)
@@ -714,6 +827,101 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return EXIT_OK if result.sdc_count == 0 else EXIT_BAD_RESULT
 
 
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    from repro.analysis import format_reliability_table
+    from repro.faultsim.parallel import resolve_shard_size
+    from repro.faultsim.simulator import DEFAULT_SHARD_SIZE
+    from repro.runtime import current_policy
+    from repro.runtime.distributed import (
+        DEFAULT_LEASE_SHARDS,
+        DEFAULT_LEASE_TIMEOUT_S,
+        Coordinator,
+        JobSpec,
+    )
+
+    if args.faultsim_backend == "analytical":
+        print(
+            "repro: coordinate distributes Monte-Carlo sampling; "
+            "the analytical backend has no shards to lease "
+            "(use repro sweep instead)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    spec = JobSpec(
+        scheme=args.schemes[0],
+        num_systems=args.systems,
+        shard_size=resolve_shard_size(
+            args.systems, args.shard_size, DEFAULT_SHARD_SIZE
+        ),
+        seed=args.seed,
+        years=args.years,
+        scaling_rate=args.scaling_rate,
+        scrub_hours=args.scrub_hours,
+        ecc_backend=args.ecc_backend,
+        faultsim_backend=args.faultsim_backend,
+    )
+    host, port = args.bind
+    coordinator = Coordinator(
+        spec,
+        host=host,
+        port=port,
+        lease_shards=(
+            DEFAULT_LEASE_SHARDS if args.lease_shards is None
+            else args.lease_shards
+        ),
+        lease_timeout_s=(
+            DEFAULT_LEASE_TIMEOUT_S if args.lease_timeout is None
+            else args.lease_timeout
+        ),
+        policy=current_policy(),
+    )
+    bound_host, bound_port = coordinator.address
+    # Stderr, so stdout stays diffable against `repro reliability`.
+    print(
+        f"repro: coordinating {spec.num_shards()} shard(s) of "
+        f"{args.schemes[0]} on {bound_host}:{bound_port}",
+        file=sys.stderr,
+    )
+    result = coordinator.run()
+    print(
+        format_reliability_table(
+            f"{args.systems:,} systems, {args.years:g} years, "
+            f"scaling rate {args.scaling_rate:g}:",
+            [result],
+            baseline_name=None,
+        )
+    )
+    return EXIT_OK
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.runtime.distributed import run_worker
+
+    host, port = args.coordinator
+    try:
+        summary = run_worker(
+            host,
+            port,
+            worker_id=args.worker_id,
+            workers=args.workers,
+            chaos=args.chaos,
+            shard_timeout_s=args.shard_timeout,
+            max_retries=3 if args.max_retries is None else args.max_retries,
+            connect_timeout_s=args.connect_timeout,
+        )
+    except ConnectionError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_BAD_RESULT
+    print(
+        f"worker {summary.worker}: {summary.shards_completed} shard(s) "
+        f"over {summary.leases} lease(s), "
+        f"{summary.shards_failed} failed, "
+        f"{summary.reconnects} reconnect(s), "
+        f"{'drained' if summary.drained else 'coordinator gone'}"
+    )
+    return EXIT_OK if summary.drained else EXIT_BAD_RESULT
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -733,6 +941,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_export(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "coordinate":
+        return _cmd_coordinate(args)
+    if args.command == "work":
+        return _cmd_work(args)
     if args.command == "obs":
         from repro.obs.cli import run_obs
 

@@ -40,6 +40,7 @@ __all__ = [
     "plan_shards",
     "pool_context",
     "resolve_shard_size",
+    "select_shard_args",
     "validate_workers",
     "run_sharded",
 ]
@@ -101,6 +102,28 @@ def resolve_shard_size(
     if shard_size < 1:
         raise ValueError("shard_size must be >= 1")
     return shard_size
+
+
+def select_shard_args(
+    shard_args: Sequence[Tuple[Any, ...]], indices: Sequence[int]
+) -> List[Tuple[Any, ...]]:
+    """Pick a subset of a full shard plan by global shard index.
+
+    Distributed leases execute arbitrary index subsets of the *same*
+    deterministic plan a single-machine run would build; selecting from
+    the full ``shard_args`` list (rather than re-planning a sub-range)
+    is what keeps every shard's seed and start offset identical to the
+    single-machine run, and therefore the merge bit-identical.  Raises
+    ``ValueError`` for indices outside the plan.
+    """
+    selected: List[Tuple[Any, ...]] = []
+    for index in indices:
+        if not 0 <= index < len(shard_args):
+            raise ValueError(
+                f"shard index {index} outside plan of {len(shard_args)}"
+            )
+        selected.append(shard_args[index])
+    return selected
 
 
 def validate_workers(workers: int) -> int:

@@ -27,7 +27,12 @@ import numpy as np
 
 from repro.faultsim.fault_models import FitTable, HOURS_PER_YEAR, LIFETIME_YEARS
 from repro.faultsim.injector import FaultSampler
-from repro.faultsim.parallel import plan_shards, resolve_shard_size, run_sharded
+from repro.faultsim.parallel import (
+    plan_shards,
+    resolve_shard_size,
+    run_sharded,
+    select_shard_args,
+)
 from repro.faultsim.schemes import FailureKind, ProtectionScheme
 from repro.faultsim.vectorized import (
     adjudicate_shard,
@@ -559,6 +564,66 @@ def simulate(
         )
 
     return result
+
+
+def simulate_shard_range(
+    scheme: ProtectionScheme,
+    config: Optional[MonteCarloConfig] = None,
+    indices: Sequence[int] = (),
+    shard_size: Optional[int] = None,
+    workers: int = 1,
+    runtime: Optional[RuntimePolicy] = None,
+) -> Dict[int, ReliabilityResult]:
+    """Simulate a subset of the deterministic shard plan by index.
+
+    This is the distributed-worker entry point: it builds the *same*
+    full shard plan and ``SeedSequence.spawn`` children that
+    :func:`simulate` would, then executes only the leased ``indices``.
+    Because seeds and start offsets come from the full plan, a merge of
+    per-index results across any number of machines is bit-identical to
+    the single-machine run.
+
+    Returns ``{global_shard_index: ReliabilityResult}`` for the indices
+    that completed.  With a ``runtime`` policy, failed shards follow its
+    retry/quarantine contract (quarantined indices are simply absent
+    from the returned dict -- the coordinator decides their fate).
+    """
+    config = config or MonteCarloConfig()
+    validate_faultsim_backend(config.faultsim_backend)
+    if config.faultsim_backend == "analytical":
+        raise ValueError(
+            "simulate_shard_range requires a sampling backend; the "
+            "analytical solver has no shards to lease"
+        )
+    scheme.bind_ecc_backend(config.ecc_backend)
+    shard_size = resolve_shard_size(
+        config.num_systems, shard_size, DEFAULT_SHARD_SIZE
+    )
+    shards = plan_shards(config.num_systems, shard_size)
+    seeds = np.random.SeedSequence(config.seed).spawn(max(1, len(shards)))
+    full_args = [
+        (scheme, config, start, count, seeds[i])
+        for i, (start, count) in enumerate(shards)
+    ]
+    indices = list(indices)
+    selected = select_shard_args(full_args, indices)
+    if runtime is not None:
+        results, outcome = run_resilient(
+            _simulate_shard,
+            selected,
+            workers=workers,
+            fingerprint=reliability_fingerprint(scheme, config, shard_size),
+            policy=runtime,
+            encode=lambda r: r.to_payload(),
+            decode=ReliabilityResult.from_payload,
+        )
+        # The executor omits quarantined shards from its plan-ordered
+        # list, so realign by the local indices that survived.
+        quarantined = set(outcome.quarantined_shards)
+        kept = [i for i in range(len(selected)) if i not in quarantined]
+        return {indices[local]: result for local, result in zip(kept, results)}
+    results = run_sharded(_simulate_shard, selected, workers=workers)
+    return dict(zip(indices, results))
 
 
 def simulate_many(

@@ -274,7 +274,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.runtime.checkpoint import CheckpointError, load_checkpoint
 
     try:
-        fingerprint, records, discarded = load_checkpoint(args.checkpoint)
+        loaded = load_checkpoint(args.checkpoint)
+        fingerprint, records, discarded = loaded
     except CheckpointError as exc:
         print(f"repro obs: {exc}", file=sys.stderr)
         return 2
@@ -293,6 +294,14 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"  shards       = {len(done)}/{planned} complete "
         f"({completeness:.1%}), {discarded} corrupt record(s) discarded"
     )
+    if loaded.duplicates or loaded.conflicts:
+        # Duplicate shard lines happen when a resumed/merged run re-wrote
+        # an index; conflicting ones (same index, different digest) mean
+        # two runs disagreed -- the loader kept the first valid record.
+        print(
+            f"  duplicates   = {loaded.duplicates} identical, "
+            f"{loaded.conflicts} conflicting (first valid record kept)"
+        )
     if missing:
         print(f"  missing      = {_compress_ranges(missing)}")
     return 0

@@ -40,6 +40,9 @@ __all__ = [
     "ShardQuarantined",
     "CheckpointWritten",
     "RunSignalled",
+    "LeaseGranted",
+    "LeaseCompleted",
+    "LeaseExpired",
     "ReplayedEvent",
     "EventTrace",
     "read_jsonl",
@@ -247,6 +250,45 @@ class RunSignalled(TraceEvent):
     kind = "run_signalled"
 
     signal_name: str
+
+
+@dataclass
+class LeaseGranted(TraceEvent):
+    """The distributed coordinator leased shard indices to a worker."""
+
+    kind = "lease_granted"
+
+    lease_id: int
+    worker: str
+    shards: int
+    first_shard: int
+
+
+@dataclass
+class LeaseCompleted(TraceEvent):
+    """Every shard of a lease was accounted for by its worker."""
+
+    kind = "lease_completed"
+
+    lease_id: int
+    worker: str
+    shards: int
+
+
+@dataclass
+class LeaseExpired(TraceEvent):
+    """A lease missed its deadline; unfinished shards were requeued.
+
+    ``reason`` distinguishes a deadline miss (``timeout``) from a
+    worker connection dying mid-lease (``crash``).
+    """
+
+    kind = "lease_expired"
+
+    lease_id: int
+    worker: str
+    outstanding: int
+    reason: str
 
 
 class ReplayedEvent(TraceEvent):

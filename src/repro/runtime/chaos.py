@@ -21,6 +21,14 @@ long sleep for a hang); in-process runs (``workers=1``) raise the
 equivalent :class:`ChaosCrash` / :class:`ChaosHang` exceptions, which
 the executor classifies exactly like their out-of-process twins.
 
+Distributed runs add four *network* verbs -- ``drop``, ``delay``,
+``duplicate`` and ``partition`` -- applied at the protocol layer by
+:mod:`repro.runtime.distributed` workers rather than inside the shard
+function.  They are keyed by the same deterministic ``(index,
+attempt)`` predicate, where the index is the campaign-global shard
+index carried in the lease, so a chaos test can sever a worker exactly
+mid-lease and assert the coordinator requeues and recovers.
+
 The CLI exposes this as the developer flag ``--chaos SPEC``; see
 :func:`parse_chaos_spec` for the spec grammar.
 """
@@ -75,8 +83,13 @@ class ChaosPolicy:
     crash_shards: Tuple[int, ...] = ()
     hang_shards: Tuple[int, ...] = ()
     fault_shards: Tuple[int, ...] = ()
+    drop_shards: Tuple[int, ...] = ()
+    delay_shards: Tuple[int, ...] = ()
+    duplicate_shards: Tuple[int, ...] = ()
+    partition_shards: Tuple[int, ...] = ()
     trigger_attempts: int = 1
     hang_s: float = 3600.0
+    delay_s: float = 0.25
 
     def _triggers(self, shards: Tuple[int, ...], index: int, attempt: int) -> bool:
         return index in shards and attempt <= self.trigger_attempts
@@ -92,6 +105,43 @@ class ChaosPolicy:
     def should_fault(self, index: int, attempt: int) -> bool:
         """True when this (shard, attempt) must raise an exception."""
         return self._triggers(self.fault_shards, index, attempt)
+
+    def should_drop(self, index: int, attempt: int) -> bool:
+        """True when this shard's result frame must be silently dropped.
+
+        The worker computes the shard, then closes the connection
+        instead of sending the record -- the wire-level twin of a lost
+        packet carrying completed work.
+        """
+        return self._triggers(self.drop_shards, index, attempt)
+
+    def should_delay(self, index: int, attempt: int) -> bool:
+        """True when this shard's result frame must be sent late."""
+        return self._triggers(self.delay_shards, index, attempt)
+
+    def should_duplicate(self, index: int, attempt: int) -> bool:
+        """True when this shard's result frame must be sent twice.
+
+        Exercises the coordinator's idempotent receive path: a
+        byte-identical duplicate must be counted and discarded, never
+        double-merged.
+        """
+        return self._triggers(self.duplicate_shards, index, attempt)
+
+    def should_partition(self, index: int, attempt: int) -> bool:
+        """True when the worker must sever the connection *before*
+        running this shard, simulating a network partition mid-lease."""
+        return self._triggers(self.partition_shards, index, attempt)
+
+    @property
+    def has_network_verbs(self) -> bool:
+        """True when any protocol-layer verb is configured."""
+        return bool(
+            self.drop_shards
+            or self.delay_shards
+            or self.duplicate_shards
+            or self.partition_shards
+        )
 
     def apply_in_worker(self, index: int, attempt: int) -> None:
         """Inject for real inside a pool worker process.
@@ -143,14 +193,28 @@ def parse_chaos_spec(spec: str) -> ChaosPolicy:
     * ``crash=I[,J...]`` -- worker crash on those shard indices;
     * ``hang=I[,J...]`` -- hang (exceeds any ``--shard-timeout``);
     * ``fault=I[,J...]`` -- raise an exception inside the shard;
+    * ``drop=I[,J...]`` -- compute the shard but sever the connection
+      instead of sending its result (distributed runs only);
+    * ``delay=I[,J...]`` -- send the shard's result ``delay-s`` late;
+    * ``duplicate=I[,J...]`` -- send the shard's result frame twice;
+    * ``partition=I[,J...]`` -- sever the connection before running
+      the shard, as a network partition mid-lease;
     * ``attempts=N`` -- misbehave on the first N attempts (default 1);
-    * ``hang-s=S`` -- how long a hung worker sleeps (default 3600).
+    * ``hang-s=S`` -- how long a hung worker sleeps (default 3600);
+    * ``delay-s=S`` -- how late a delayed frame is sent (default 0.25).
     """
-    crash: Tuple[int, ...] = ()
-    hang: Tuple[int, ...] = ()
-    fault: Tuple[int, ...] = ()
+    index_sets = {
+        "crash": (),
+        "hang": (),
+        "fault": (),
+        "drop": (),
+        "delay": (),
+        "duplicate": (),
+        "partition": (),
+    }
     attempts = 1
     hang_s = 3600.0
+    delay_s = 0.25
     for clause in spec.split(";"):
         clause = clause.strip()
         if not clause:
@@ -160,16 +224,14 @@ def parse_chaos_spec(spec: str) -> ChaosPolicy:
         if not sep:
             raise ChaosSpecError(f"chaos clause {clause!r} is not key=value")
         try:
-            if key == "crash":
-                crash = tuple(int(v) for v in value.split(","))
-            elif key == "hang":
-                hang = tuple(int(v) for v in value.split(","))
-            elif key == "fault":
-                fault = tuple(int(v) for v in value.split(","))
+            if key in index_sets:
+                index_sets[key] = tuple(int(v) for v in value.split(","))
             elif key == "attempts":
                 attempts = int(value)
             elif key in ("hang-s", "hang_s"):
                 hang_s = float(value)
+            elif key in ("delay-s", "delay_s"):
+                delay_s = float(value)
             else:
                 raise ChaosSpecError(f"unknown chaos clause {key!r}")
         except ValueError as exc:
@@ -180,12 +242,19 @@ def parse_chaos_spec(spec: str) -> ChaosPolicy:
             ) from exc
     if attempts < 1:
         raise ChaosSpecError("chaos attempts must be >= 1")
+    if delay_s < 0:
+        raise ChaosSpecError("chaos delay-s must be >= 0")
     return ChaosPolicy(
-        crash_shards=crash,
-        hang_shards=hang,
-        fault_shards=fault,
+        crash_shards=index_sets["crash"],
+        hang_shards=index_sets["hang"],
+        fault_shards=index_sets["fault"],
+        drop_shards=index_sets["drop"],
+        delay_shards=index_sets["delay"],
+        duplicate_shards=index_sets["duplicate"],
+        partition_shards=index_sets["partition"],
         trigger_attempts=attempts,
         hang_s=hang_s,
+        delay_s=delay_s,
     )
 
 

@@ -35,16 +35,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "CheckpointMismatch",
+    "CheckpointLoad",
     "RunFingerprint",
     "ShardRecord",
+    "ShardLease",
+    "LeaseBook",
     "CheckpointStore",
     "config_digest",
     "load_checkpoint",
@@ -179,9 +184,53 @@ def _parse_shard_line(record: Dict[str, object]) -> Optional[ShardRecord]:
     )
 
 
-def load_checkpoint(
-    path: "str | os.PathLike[str]",
-) -> Tuple[Dict[str, object], Dict[int, ShardRecord], int]:
+class CheckpointLoad(tuple):
+    """Result of :func:`load_checkpoint`.
+
+    Unpacks as the historical 3-tuple ``(fingerprint, records,
+    discarded)`` so every existing call site keeps working, while also
+    exposing how duplicate shard indices were resolved:
+
+    * ``duplicates`` -- records whose index was already present with
+      the *same* digest (idempotent re-delivery: benign, dropped);
+    * ``conflicts`` -- records whose index was already present with a
+      *different* digest.  Resolution is deterministic: the first valid
+      record wins, the conflicting later record is dropped, and the
+      event is counted here so callers (``repro obs inspect``, the
+      distributed coordinator) can surface it rather than silently
+      merging whichever record happened to be written last.
+    """
+
+    def __new__(
+        cls,
+        fingerprint: Dict[str, object],
+        records: Dict[int, ShardRecord],
+        discarded: int,
+        duplicates: int = 0,
+        conflicts: int = 0,
+    ) -> "CheckpointLoad":
+        self = super().__new__(cls, (fingerprint, records, discarded))
+        self.duplicates = duplicates
+        self.conflicts = conflicts
+        return self
+
+    @property
+    def fingerprint(self) -> Dict[str, object]:
+        """The digest-verified header fingerprint dict."""
+        return self[0]
+
+    @property
+    def records(self) -> Dict[int, ShardRecord]:
+        """Valid shard records by index (first occurrence wins)."""
+        return self[1]
+
+    @property
+    def discarded(self) -> int:
+        """Records dropped from the corrupt/truncated tail."""
+        return self[2]
+
+
+def load_checkpoint(path: "str | os.PathLike[str]") -> CheckpointLoad:
     """Read a checkpoint: ``(fingerprint, records_by_index, discarded)``.
 
     The header must be intact (digest-verified) or the whole file is
@@ -190,7 +239,9 @@ def load_checkpoint(
     then read in order until the first truncated/corrupted line; that
     record and everything after it are discarded (the count is
     returned) and the valid prefix is kept.  A shard index recorded
-    twice keeps its first occurrence.
+    twice keeps its first valid occurrence deterministically; the
+    returned :class:`CheckpointLoad` counts byte-identical re-deliveries
+    (``duplicates``) separately from digest conflicts (``conflicts``).
     """
     path = Path(path)
     try:
@@ -221,6 +272,8 @@ def load_checkpoint(
 
     records: Dict[int, ShardRecord] = {}
     discarded = 0
+    duplicates = 0
+    conflicts = 0
     for pos, line in enumerate(lines[1:]):
         line = line.strip()
         if not line:
@@ -238,8 +291,18 @@ def load_checkpoint(
             # untrustworthy tail.  Count it and stop.
             discarded = len([l for l in lines[1 + pos:] if l.strip()])
             break
-        records.setdefault(shard.index, shard)
-    return fingerprint, records, discarded
+        held = records.get(shard.index)
+        if held is None:
+            records[shard.index] = shard
+        elif held.to_line() == shard.to_line():
+            duplicates += 1
+        else:
+            # Same index, different digest-verified content: both lines
+            # are individually valid, so this is a writer bug or a
+            # replayed stale record, never bit rot.  Keep the first
+            # (deterministic for any reader) and surface the conflict.
+            conflicts += 1
+    return CheckpointLoad(fingerprint, records, discarded, duplicates, conflicts)
 
 
 class CheckpointStore:
@@ -263,6 +326,8 @@ class CheckpointStore:
         self.fingerprint = fingerprint
         self.records: Dict[int, ShardRecord] = dict(records or {})
         self.discarded = 0
+        self.duplicates = 0
+        self.conflicts = 0
 
     # -- constructors -------------------------------------------------------
 
@@ -290,17 +355,20 @@ class CheckpointStore:
         unusable.  Corrupted tail records are dropped (``discarded``
         records how many) -- the shards they covered simply re-run.
         """
-        stored, records, discarded = load_checkpoint(path)
-        diffs = fingerprint.mismatches(stored)
+        loaded = load_checkpoint(path)
+        diffs = fingerprint.mismatches(loaded.fingerprint)
         if diffs:
             raise CheckpointMismatch(
                 f"checkpoint {path} belongs to a different run: "
                 + "; ".join(diffs)
             )
-        store = cls(path, fingerprint, records)
-        store.discarded = discarded
-        if discarded:
-            # Rewrite immediately so the corrupt tail is gone on disk.
+        store = cls(path, fingerprint, loaded.records)
+        store.discarded = loaded.discarded
+        store.duplicates = loaded.duplicates
+        store.conflicts = loaded.conflicts
+        if loaded.discarded or loaded.duplicates or loaded.conflicts:
+            # Rewrite immediately so the corrupt tail / duplicate lines
+            # are gone on disk.
             store.flush()
         return store
 
@@ -345,3 +413,253 @@ class CheckpointStore:
         )
         tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
         os.replace(tmp, self.path)
+
+
+@dataclass(frozen=True)
+class ShardLease:
+    """A bounded grant of shard indices to one distributed worker.
+
+    ``attempts`` carries the per-shard attempt number (1-based,
+    parallel to ``shards``) so workers key deterministic chaos
+    injection on ``(global shard index, attempt)`` exactly like the
+    in-process executor.  ``deadline`` is a coordinator-clock instant;
+    a lease not fully accounted for by then is expired and its
+    unfinished shards requeued.
+    """
+
+    lease_id: int
+    shards: Tuple[int, ...]
+    attempts: Tuple[int, ...]
+    worker: str
+    deadline: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for the wire protocol's ``lease`` message."""
+        return {
+            "lease_id": self.lease_id,
+            "shards": list(self.shards),
+            "attempts": list(self.attempts),
+            "worker": self.worker,
+        }
+
+
+class LeaseBook:
+    """Deterministic shard-lease ledger for the distributed coordinator.
+
+    Tracks every shard index of a run through the lease lifecycle::
+
+        pending -> leased -> completed
+                      |          ^
+                      v          |   (retry with the executor's
+                   failed --------    exponential backoff + jitter)
+                      |
+                      v
+                quarantined (``keep_going``) / abort
+
+    The book is pure bookkeeping -- no I/O, no clock reads of its own
+    (an injectable ``clock`` makes expiry testable) -- and entirely
+    deterministic: grants hand out the lowest ready shard indices in
+    order, retry delays reuse :mod:`repro.runtime.executor`'s seeded
+    backoff formula, so two coordinators fed the same failure sequence
+    make identical scheduling decisions.
+    """
+
+    def __init__(
+        self,
+        total_shards: int,
+        *,
+        seed: int,
+        lease_shards: int = 4,
+        lease_timeout_s: float = 60.0,
+        max_retries: int = 3,
+        keep_going: bool = False,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 8.0,
+        completed: Optional[List[int]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total_shards < 0:
+            raise ValueError("total_shards must be >= 0")
+        if lease_shards < 1:
+            raise ValueError("lease_shards must be >= 1")
+        self.total_shards = total_shards
+        self.seed = seed
+        self.lease_shards = lease_shards
+        self.lease_timeout_s = lease_timeout_s
+        self.max_retries = max_retries
+        self.keep_going = keep_going
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.clock = clock
+        self.completed: set = set(completed or ())
+        self.quarantined: List[int] = []
+        self.failures: Dict[int, int] = {}
+        self.retry_at: Dict[int, float] = {}
+        self._pending: List[int] = [
+            i for i in range(total_shards) if i not in self.completed
+        ]
+        self._active: Dict[int, ShardLease] = {}
+        self._outstanding: Dict[int, set] = {}
+        self._lease_of: Dict[int, int] = {}
+        self._next_lease_id = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Shards waiting (or backing off) for a lease."""
+        return len(self._pending)
+
+    @property
+    def active_leases(self) -> List[ShardLease]:
+        """Currently outstanding leases."""
+        return list(self._active.values())
+
+    @property
+    def done(self) -> bool:
+        """True when every shard is completed or quarantined."""
+        return (
+            len(self.completed) + len(self.quarantined) >= self.total_shards
+            and not self._active
+            and not self._pending
+        )
+
+    def outstanding(self, lease_id: int) -> Tuple[int, ...]:
+        """Shard indices of a lease not yet completed/failed."""
+        return tuple(sorted(self._outstanding.get(lease_id, ())))
+
+    # -- lease lifecycle ----------------------------------------------------
+
+    def _backoff_delay(self, index: int, failure_count: int) -> float:
+        """The executor's exponential backoff + deterministic jitter."""
+        base = self.backoff_base_s * (2.0 ** max(0, failure_count - 1))
+        delay = min(self.backoff_cap_s, base)
+        rng = random.Random((self.seed << 24) ^ (index << 8) ^ failure_count)
+        return delay * (1.0 + 0.25 * rng.random())
+
+    def grant(self, worker: str) -> Optional[ShardLease]:
+        """Lease up to ``lease_shards`` ready indices to ``worker``.
+
+        Indices are handed out lowest-first among those whose backoff
+        window has elapsed; returns ``None`` when nothing is ready yet
+        (distinguish via :attr:`pending_count` whether the caller
+        should wait for a backoff window or for active leases).
+        """
+        now = self.clock()
+        ready = [
+            i for i in self._pending if self.retry_at.get(i, 0.0) <= now
+        ][: self.lease_shards]
+        if not ready:
+            return None
+        for i in ready:
+            self._pending.remove(i)
+        lease = ShardLease(
+            lease_id=self._next_lease_id,
+            shards=tuple(ready),
+            attempts=tuple(self.failures.get(i, 0) + 1 for i in ready),
+            worker=worker,
+            deadline=now + self.lease_timeout_s,
+        )
+        self._next_lease_id += 1
+        self._active[lease.lease_id] = lease
+        self._outstanding[lease.lease_id] = set(ready)
+        for i in ready:
+            self._lease_of[i] = lease.lease_id
+        return lease
+
+    def _detach(self, index: int) -> None:
+        lease_id = self._lease_of.pop(index, None)
+        if lease_id is None:
+            return
+        outstanding = self._outstanding.get(lease_id)
+        if outstanding is not None:
+            outstanding.discard(index)
+            if not outstanding:
+                self._outstanding.pop(lease_id, None)
+                self._active.pop(lease_id, None)
+
+    def complete(self, index: int) -> bool:
+        """Mark a shard completed; ``False`` for a duplicate/stale result."""
+        if index in self.completed or index in self.quarantined:
+            return False
+        self.completed.add(index)
+        self.retry_at.pop(index, None)
+        self._detach(index)
+        if index in self._pending:  # completed while queued for retry
+            self._pending.remove(index)
+        return True
+
+    def fail(self, index: int, reason: str) -> str:
+        """Account one shard failure; returns the scheduling decision.
+
+        ``"retry"``: the shard re-enters the pending queue behind a
+        deterministic backoff window.  ``"quarantine"``: the retry
+        budget is exhausted under ``keep_going``; the shard is parked.
+        ``"abort"``: budget exhausted without ``keep_going`` -- the
+        caller must stop the run (the book itself keeps the shard out
+        of the queue either way).
+        """
+        if index in self.completed:
+            return "retry"  # stale failure for an already-done shard
+        self._detach(index)
+        count = self.failures.get(index, 0) + 1
+        self.failures[index] = count
+        if count > self.max_retries:
+            if index in self._pending:
+                self._pending.remove(index)
+            self.retry_at.pop(index, None)
+            if self.keep_going:
+                if index not in self.quarantined:
+                    self.quarantined.append(index)
+                return "quarantine"
+            return "abort"
+        self.retry_at[index] = self.clock() + self._backoff_delay(index, count)
+        if index not in self._pending:
+            self._pending.append(index)
+            self._pending.sort()
+        return "retry"
+
+    def expire(self, now: Optional[float] = None) -> List[Tuple[ShardLease, Tuple[int, ...]]]:
+        """Pop leases whose deadline has passed.
+
+        Returns ``(lease, outstanding_indices)`` pairs; the caller
+        decides each outstanding shard's fate via :meth:`fail` (so it
+        can emit events and honour the abort contract).
+        """
+        now = self.clock() if now is None else now
+        expired = [
+            lease
+            for lease in self._active.values()
+            if lease.deadline <= now and self._outstanding.get(lease.lease_id)
+        ]
+        results: List[Tuple[ShardLease, Tuple[int, ...]]] = []
+        for lease in expired:
+            indices = self.release(lease.lease_id)
+            results.append((lease, indices))
+        return results
+
+    def release(self, lease_id: int) -> Tuple[int, ...]:
+        """Drop a lease (worker gone); returns its unfinished indices.
+
+        The indices are *not* requeued automatically -- the caller
+        routes each through :meth:`fail` with a reason.
+        """
+        self._active.pop(lease_id, None)
+        indices = tuple(sorted(self._outstanding.pop(lease_id, ())))
+        for i in indices:
+            self._lease_of.pop(i, None)
+        return indices
+
+    def next_ready_in(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the earliest backoff window opens (0 if ready).
+
+        ``None`` when nothing is pending at all -- the caller should
+        then wait on active leases instead.
+        """
+        if not self._pending:
+            return None
+        now = self.clock() if now is None else now
+        return max(
+            0.0,
+            min(self.retry_at.get(i, 0.0) for i in self._pending) - now,
+        )

@@ -1,0 +1,159 @@
+"""End-to-end distributed coordinator tests over real loopback sockets.
+
+Each test runs one :class:`~repro.runtime.distributed.Coordinator` in
+the main thread against workers on 127.0.0.1 -- threads for the clean
+and drain paths, spawned processes where chaos really kills the worker
+with ``os._exit`` -- and proves the merged result is *bit-identical*
+(via the PR-5 differential harness) to the single-machine vectorized
+run of the same spec.  This is the distributed twin of
+``tests/unit/test_chaos.py``.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.faultsim.differential import assert_identical
+from repro.faultsim.schemes import XedScheme
+from repro.faultsim.simulator import MonteCarloConfig, simulate
+from repro.runtime import (
+    CRASH_EXIT_CODE,
+    ChaosPolicy,
+    RunInterrupted,
+    RuntimePolicy,
+    parse_chaos_spec,
+)
+from repro.runtime.distributed import Coordinator, JobSpec, run_worker
+
+SPEC = JobSpec(scheme="xed", num_systems=20_000, shard_size=5_000, seed=7)
+CFG = MonteCarloConfig(
+    num_systems=20_000, seed=7, faultsim_backend="vectorized"
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The single-machine result every distributed merge must equal."""
+    return simulate(XedScheme(), CFG, workers=1, shard_size=5_000)
+
+
+def _start_worker_thread(address, worker_id, chaos=None):
+    host, port = address
+
+    def serve():
+        try:
+            run_worker(
+                host, port, worker_id=worker_id, chaos=chaos,
+                connect_timeout_s=30.0,
+            )
+        except ConnectionError:
+            pass  # coordinator already gone: nothing left to serve
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+def _worker_process_main(host, port, chaos_spec):
+    """Spawned-process entry point (top level so it pickles)."""
+    chaos = parse_chaos_spec(chaos_spec) if chaos_spec else None
+    try:
+        run_worker(host, port, chaos=chaos, connect_timeout_s=30.0)
+    except ConnectionError:
+        pass
+
+
+@pytest.mark.timeout(300)
+class TestDistributedRuns:
+    def test_three_workers_merge_bit_identically(self, reference):
+        coordinator = Coordinator(SPEC, port=0, lease_shards=1)
+        threads = [
+            _start_worker_thread(coordinator.address, f"t{i}")
+            for i in range(3)
+        ]
+        result = coordinator.run()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert_identical(result, reference, "distributed clean run")
+        assert coordinator.outcome.total_shards == 4
+        assert coordinator.outcome.completed_shards == 4
+        assert coordinator.outcome.completeness == 1.0
+
+    def test_crash_partition_and_drop_recover_bit_identically(
+        self, reference, tmp_path
+    ):
+        # Both processes carry the same chaos: whichever is granted
+        # shard 1 on attempt 1 dies with os._exit, shard 2's first
+        # holder severs before running, shard 3's first holder computes
+        # the result and severs instead of sending it.  Exactly one
+        # process dies; the survivor re-dials and finishes the plan.
+        policy = RuntimePolicy(
+            checkpoint_dir=str(tmp_path), backoff_base_s=0.01
+        )
+        coordinator = Coordinator(
+            SPEC, port=0, lease_shards=1, policy=policy
+        )
+        ctx = multiprocessing.get_context("spawn")
+        host, port = coordinator.address
+        procs = [
+            ctx.Process(
+                target=_worker_process_main,
+                args=(host, port, "crash=1;partition=2;drop=3"),
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        result = coordinator.run()
+        for proc in procs:
+            proc.join(timeout=60.0)
+        assert sorted(p.exitcode for p in procs) == [0, CRASH_EXIT_CODE]
+        assert_identical(result, reference, "distributed chaos run")
+        assert coordinator.outcome.completeness == 1.0
+        assert coordinator.outcome.crashes >= 1
+        assert coordinator.outcome.retries >= 3
+
+    def test_drain_on_signal_then_resume_bit_identically(
+        self, reference, tmp_path
+    ):
+        # Phase 1: the worker hangs forever on shard 3, so the run can
+        # only end through the drain path.  Once the first three shards
+        # are checkpointed we inject the signal; the hung lease expires
+        # (1 s deadline), the drain completes and run() raises
+        # RunInterrupted with the checkpoint flushed.
+        policy = RuntimePolicy(
+            checkpoint_dir=str(tmp_path), backoff_base_s=0.01
+        )
+        coordinator = Coordinator(
+            SPEC, port=0, lease_shards=1, lease_timeout_s=1.0, policy=policy
+        )
+        _start_worker_thread(
+            coordinator.address, "hanger",
+            chaos=ChaosPolicy(hang_shards=(3,)),
+        )
+
+        def signal_when_partial():
+            while coordinator.outcome.completed_shards < 3:
+                time.sleep(0.02)
+            coordinator._on_signal("SIGINT")
+
+        threading.Thread(target=signal_when_partial, daemon=True).start()
+        with pytest.raises(RunInterrupted) as excinfo:
+            coordinator.run()
+        assert excinfo.value.checkpoint_path is not None
+        assert coordinator.outcome.completed_shards == 3
+
+        # Phase 2: resume from the checkpoint with a healthy worker;
+        # only the missing shard runs and the merge is bit-identical.
+        resume_policy = RuntimePolicy(resume_dir=str(tmp_path))
+        resumed = Coordinator(
+            SPEC, port=0, lease_shards=1, policy=resume_policy
+        )
+        thread = _start_worker_thread(resumed.address, "finisher")
+        result = resumed.run()
+        thread.join(timeout=30.0)
+        assert_identical(result, reference, "distributed resumed run")
+        assert resumed.outcome.resumed_shards == 3
+        assert resumed.outcome.completeness == 1.0

@@ -1,0 +1,277 @@
+"""Unit tests for the distributed coordinator's bookkeeping layers.
+
+Covers the :class:`~repro.runtime.checkpoint.LeaseBook` lease ledger
+(deterministic grant ordering, expiry + requeue, retry budgets,
+quarantine/abort), the duplicate/conflict hardening of
+:func:`~repro.runtime.checkpoint.load_checkpoint`, and the
+:class:`~repro.runtime.distributed.JobSpec` handshake payload.  The
+network paths are exercised end to end in
+``tests/integration/test_distributed_runs.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.faultsim.parallel import select_shard_args
+from repro.runtime import load_checkpoint, parse_chaos_spec
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    LeaseBook,
+    RunFingerprint,
+    ShardRecord,
+)
+from repro.runtime.distributed import JobSpec
+
+
+class FakeClock:
+    """Injectable monotonic clock: advances only when told to."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_book(total=6, **kwargs):
+    clock = FakeClock()
+    defaults = dict(
+        seed=7, lease_shards=2, lease_timeout_s=10.0, max_retries=2,
+        backoff_base_s=0.25, backoff_cap_s=8.0, clock=clock,
+    )
+    defaults.update(kwargs)
+    return LeaseBook(total, **defaults), clock
+
+
+class TestLeaseGranting:
+    def test_grants_lowest_indices_first(self):
+        book, _ = make_book()
+        grants = [book.grant("w").shards for _ in range(3)]
+        assert grants == [(0, 1), (2, 3), (4, 5)]
+        assert book.grant("w") is None  # everything is leased out
+
+    def test_attempts_start_at_one(self):
+        book, _ = make_book()
+        assert book.grant("w").attempts == (1, 1)
+
+    def test_complete_drains_to_done(self):
+        book, _ = make_book(total=3, lease_shards=3)
+        lease = book.grant("w")
+        for index in lease.shards:
+            assert book.complete(index)
+        assert book.done
+        assert book.active_leases == []
+
+    def test_duplicate_complete_is_rejected(self):
+        book, _ = make_book(total=2, lease_shards=2)
+        book.grant("w")
+        assert book.complete(0)
+        assert not book.complete(0)
+
+    def test_resume_seeds_completed(self):
+        book, _ = make_book(total=4, completed=[0, 2])
+        assert book.grant("w").shards == (1, 3)
+
+
+class TestRetryAndExpiry:
+    def test_failed_shard_backs_off_then_requeues(self):
+        book, clock = make_book(total=1, lease_shards=1)
+        book.grant("w")
+        assert book.fail(0, "fault") == "retry"
+        # Backoff window still closed: nothing is ready.
+        assert book.grant("w") is None
+        wait = book.next_ready_in()
+        assert 0.25 <= wait <= 0.25 * 1.25
+        clock.now += wait
+        lease = book.grant("w")
+        assert lease.shards == (0,)
+        assert lease.attempts == (2,)
+
+    def test_backoff_is_deterministic_across_books(self):
+        delays = []
+        for _ in range(2):
+            book, clock = make_book(total=1, lease_shards=1)
+            book.grant("w")
+            book.fail(0, "fault")
+            delays.append(book.retry_at[0] - clock.now)
+        assert delays[0] == delays[1]
+
+    def test_expiry_releases_outstanding_shards(self):
+        book, clock = make_book(total=4, lease_shards=2)
+        lease = book.grant("w")
+        book.complete(lease.shards[0])
+        assert book.expire() == []  # deadline not reached yet
+        clock.now += book.lease_timeout_s + 1.0
+        expired = book.expire()
+        assert [(lease_.lease_id, indices) for lease_, indices in expired] == [
+            (lease.lease_id, (lease.shards[1],))
+        ]
+        # The caller routes the orphan through fail(); after backoff the
+        # shard is re-grantable and pending order stays lowest-first.
+        assert book.fail(lease.shards[1], "timeout") == "retry"
+        clock.now += 10.0
+        assert book.grant("w2").shards == (1, 2)
+
+    def test_requeue_preserves_lowest_first_order(self):
+        book, clock = make_book(total=6, lease_shards=2)
+        first = book.grant("w")  # (0, 1)
+        book.grant("w")          # (2, 3)
+        for index in first.shards:
+            book.fail(index, "crash")
+        clock.now += 10.0
+        # 0 and 1 come back before untouched 4 and 5.
+        assert book.grant("w").shards == (0, 1)
+
+    def test_stale_failure_after_completion_is_ignored(self):
+        book, _ = make_book(total=2, lease_shards=2)
+        book.grant("w")
+        book.complete(0)
+        assert book.fail(0, "crash") == "retry"
+        assert 0 not in book.failures
+        assert book.pending_count == 0
+
+    def test_release_returns_unfinished_indices(self):
+        book, _ = make_book(total=4, lease_shards=4)
+        lease = book.grant("w")
+        book.complete(0)
+        assert book.release(lease.lease_id) == (1, 2, 3)
+        assert book.active_leases == []
+
+
+class TestRetryBudget:
+    def _exhaust(self, book, clock):
+        decisions = []
+        for _ in range(book.max_retries + 1):
+            clock.now += 1000.0
+            lease = book.grant("w")
+            decisions.append(book.fail(lease.shards[0], "fault"))
+        return decisions
+
+    def test_abort_without_keep_going(self):
+        book, clock = make_book(total=1, lease_shards=1, max_retries=2)
+        assert self._exhaust(book, clock) == ["retry", "retry", "abort"]
+
+    def test_quarantine_with_keep_going(self):
+        book, clock = make_book(
+            total=1, lease_shards=1, max_retries=2, keep_going=True
+        )
+        assert self._exhaust(book, clock) == ["retry", "retry", "quarantine"]
+        assert book.quarantined == [0]
+        assert book.done
+
+
+class TestCheckpointDuplicateHardening:
+    def _write(self, tmp_path, extra_lines):
+        fingerprint = RunFingerprint(
+            kind="test", seed=1, total=4, shard_size=2,
+            config_hash="c", code_version="v",
+        )
+        path = tmp_path / "dup.ckpt"
+        store = CheckpointStore.create(path, fingerprint)
+        store.add(0, {"value": "first"})
+        store.add(1, {"value": "other"})
+        store.flush()
+        with open(path, "a", encoding="utf-8") as fh:
+            for line in extra_lines:
+                fh.write(line + "\n")
+        return path
+
+    def test_identical_redelivery_counts_as_duplicate(self, tmp_path):
+        dup = ShardRecord(index=0, payload={"value": "first"}).to_line()
+        loaded = load_checkpoint(self._write(tmp_path, [dup]))
+        assert loaded.duplicates == 1
+        assert loaded.conflicts == 0
+        assert loaded.discarded == 0
+        assert loaded.records[0].payload == {"value": "first"}
+
+    def test_conflicting_record_keeps_first_and_is_counted(self, tmp_path):
+        conflict = ShardRecord(index=0, payload={"value": "evil"}).to_line()
+        loaded = load_checkpoint(self._write(tmp_path, [conflict]))
+        assert loaded.conflicts == 1
+        assert loaded.duplicates == 0
+        # First valid record wins deterministically.
+        assert loaded.records[0].payload == {"value": "first"}
+
+    def test_unpacks_as_legacy_three_tuple(self, tmp_path):
+        fingerprint, records, discarded = load_checkpoint(
+            self._write(tmp_path, [])
+        )
+        assert isinstance(fingerprint, dict)
+        assert sorted(records) == [0, 1]
+        assert discarded == 0
+
+    def test_corrupt_tail_still_discarded_after_duplicates(self, tmp_path):
+        dup = ShardRecord(index=1, payload={"value": "other"}).to_line()
+        loaded = load_checkpoint(
+            self._write(tmp_path, [dup, '{"record": "shard", "broken'])
+        )
+        assert loaded.duplicates == 1
+        assert loaded.discarded == 1
+
+    def test_resume_surfaces_dedup_counters(self, tmp_path):
+        fingerprint = RunFingerprint(
+            kind="test", seed=1, total=4, shard_size=2,
+            config_hash="c", code_version="v",
+        )
+        conflict = ShardRecord(index=0, payload={"value": "evil"}).to_line()
+        path = self._write(tmp_path, [conflict])
+        store = CheckpointStore.resume(path, fingerprint)
+        assert store.conflicts == 1
+        assert store.duplicates == 0
+        # The rewritten file is clean: one record per index.
+        reloaded = load_checkpoint(path)
+        assert reloaded.conflicts == 0
+        assert reloaded.records[0].payload == {"value": "first"}
+
+
+class TestJobSpec:
+    def test_round_trips_through_wire_dict(self):
+        spec = JobSpec(
+            scheme="xed", num_systems=10_000, shard_size=2_500,
+            seed=11, years=5.0, scaling_rate=0.1, scrub_hours=24.0,
+        )
+        assert JobSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_unknown_scheme_is_rejected(self):
+        spec = JobSpec(scheme="rot13", num_systems=100, shard_size=50)
+        with pytest.raises(ValueError, match="unknown scheme"):
+            spec.build()
+
+    def test_num_shards_matches_plan(self):
+        spec = JobSpec(scheme="xed", num_systems=10_000, shard_size=3_000)
+        assert spec.num_shards() == 4
+
+
+class TestSelectShardArgs:
+    def test_selects_by_global_index(self):
+        plan = [("a",), ("b",), ("c",)]
+        assert select_shard_args(plan, [2, 0]) == [("c",), ("a",)]
+
+    def test_out_of_plan_index_is_rejected(self):
+        with pytest.raises(ValueError, match="outside plan"):
+            select_shard_args([("a",)], [1])
+
+
+class TestNetworkChaosVerbs:
+    def test_parse_spec_network_verbs(self):
+        policy = parse_chaos_spec(
+            "drop=1;delay=2;duplicate=3;partition=4;delay-s=0.5"
+        )
+        assert policy.drop_shards == (1,)
+        assert policy.delay_shards == (2,)
+        assert policy.duplicate_shards == (3,)
+        assert policy.partition_shards == (4,)
+        assert policy.delay_s == 0.5
+        assert policy.has_network_verbs
+
+    def test_verbs_trigger_on_first_attempt_only_by_default(self):
+        policy = parse_chaos_spec("drop=1;partition=2")
+        assert policy.should_drop(1, 1)
+        assert not policy.should_drop(1, 2)
+        assert policy.should_partition(2, 1)
+        assert not policy.should_partition(2, 2)
+        assert not policy.should_drop(0, 1)
+
+    def test_crash_only_spec_has_no_network_verbs(self):
+        assert not parse_chaos_spec("crash=1").has_network_verbs

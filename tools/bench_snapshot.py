@@ -5,8 +5,9 @@ The ledger keeps the reproduction's performance honest across PRs.
 ``record`` times a small fixed set of hot paths (scalar ECC decode,
 batched ECC decode, scalar and vectorized Monte-Carlo adjudication,
 the analytical Markov solver vs vectorized Monte-Carlo on the full
-Fig-7 sweep, and the scalar vs event-driven pipeline perfsim engines
-on a Fig-11 cell) and writes a ``BENCH_<stamp>.json`` snapshot into
+Fig-7 sweep, the scalar vs event-driven pipeline perfsim engines
+on a Fig-11 cell, and the distributed coordinator's merge throughput
+over loopback workers) and writes a ``BENCH_<stamp>.json`` snapshot into
 ``benchmarks/snapshots/``; one snapshot per landed optimisation is
 committed alongside the code.  ``compare`` re-times the same paths and
 diffs them against the latest committed snapshot (or an explicit
@@ -214,6 +215,54 @@ def _bench_perfsim(instructions: int = 50_000) -> Dict[str, Dict[str, object]]:
     }
 
 
+def _bench_distributed(
+    num_systems: int = 40_000, shard_size: int = 2_500, workers: int = 4
+) -> Dict[str, Dict[str, object]]:
+    """Time the distributed coordinator merging from loopback workers.
+
+    One coordinator (main thread) serves the shard plan to ``workers``
+    loopback worker threads; the metric is end-to-end merged shards
+    per second, covering lease granting, the wire protocol, digest
+    re-verification and the merge.  Wall-class (``better: higher``):
+    absolute throughput moves with the host, so it is recorded for the
+    ledger's history rather than gated by default -- the gate here is
+    the run itself, which re-proves the distributed path works on
+    every ``record``.
+    """
+    import threading
+
+    from repro.runtime.distributed import Coordinator, JobSpec, run_worker
+
+    spec = JobSpec(
+        scheme="xed", num_systems=num_systems, shard_size=shard_size,
+        seed=2016,
+    )
+    coordinator = Coordinator(spec, port=0, lease_shards=2)
+    host, port = coordinator.address
+    threads = [
+        threading.Thread(
+            target=run_worker, args=(host, port),
+            kwargs={"worker_id": f"bench-{i}", "connect_timeout_s": 30.0},
+            daemon=True,
+        )
+        for i in range(workers)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    coordinator.run()
+    elapsed = time.perf_counter() - t0
+    for thread in threads:
+        thread.join(timeout=30.0)
+    shards = coordinator.outcome.total_shards
+    return {
+        "runtime.distributed_merge_throughput": {
+            "value": shards / max(elapsed, 1e-12),
+            "cls": "wall", "better": "higher",
+        },
+    }
+
+
 def collect_metrics() -> Dict[str, Dict[str, object]]:
     """Run every ledger benchmark and return the metric mapping."""
     metrics: Dict[str, Dict[str, object]] = {}
@@ -221,6 +270,7 @@ def collect_metrics() -> Dict[str, Dict[str, object]]:
     metrics.update(_bench_faultsim())
     metrics.update(_bench_markov())
     metrics.update(_bench_perfsim())
+    metrics.update(_bench_distributed())
     return metrics
 
 
