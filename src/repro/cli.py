@@ -19,6 +19,10 @@ Sub-commands mirror the library's layers:
   run across machines via shard-range leases; the merged result is
   bit-identical to the single-machine run (see docs/robustness.md).
 
+* ``repro serve --bind 127.0.0.1:7654 --data-dir state`` -- run the
+  campaign service: an async HTTP job API with single-flight
+  submission and a fingerprint-keyed, digest-verified result cache
+  (see docs/serving.md).
 * ``repro obs summarize|inspect|diff`` -- post-run analysis of exported
   traces, metrics and checkpoints (see docs/observability.md).
 
@@ -584,6 +588,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(see docs/robustness.md)",
     )
 
+    serve = add_parser(
+        "serve",
+        help="run the campaign service: async job API with a "
+             "fingerprint-keyed result cache (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--bind", type=_host_port, default=("127.0.0.1", 7654),
+        metavar="HOST:PORT",
+        help="listen address (default 127.0.0.1:7654; port 0 picks an "
+             "ephemeral port, printed on stderr)",
+    )
+    serve.add_argument(
+        "--data-dir", default="service-data", metavar="DIR",
+        help="state directory for the result cache and per-job "
+             "checkpoints (default ./service-data)",
+    )
+
     from repro.obs.cli import add_obs_parser
 
     add_obs_parser(sub)
@@ -922,6 +943,52 @@ def _cmd_work(args: argparse.Namespace) -> int:
     return EXIT_OK if summary.drained else EXIT_BAD_RESULT
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service until SIGTERM/SIGINT.
+
+    SIGTERM is the orchestrator's stop signal: the server stops
+    accepting requests, the executor gets a short drain window, and the
+    process exits 0.  An interrupted job's fingerprint-keyed
+    checkpoints survive in ``--data-dir``, so resubmitting the same
+    spec after a restart resumes instead of recomputing.  Ctrl-C
+    (SIGINT) exits 130, matching the rest of the CLI.
+    """
+    import signal
+
+    from repro.service import CampaignService, create_server
+
+    class _Terminated(Exception):
+        """SIGTERM arrived; unwind ``serve_forever`` for a clean drain."""
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        raise _Terminated()
+
+    service = CampaignService(args.data_dir)
+    host, port = args.bind
+    server = create_server(host, port, service)
+    bound_host, bound_port = server.server_address[:2]
+    # Stderr, so anything piped from stdout stays machine-readable.
+    print(
+        f"repro: serving campaigns on {bound_host}:{bound_port} "
+        f"(data dir {args.data_dir})",
+        file=sys.stderr,
+    )
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    code = EXIT_OK
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except _Terminated:
+        print("repro: SIGTERM received, draining", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        code = EXIT_INTERRUPTED
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        service.shutdown()
+    return code
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -945,6 +1012,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_coordinate(args)
     if args.command == "work":
         return _cmd_work(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         from repro.obs.cli import run_obs
 

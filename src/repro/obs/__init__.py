@@ -62,6 +62,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.progress import ProgressReporter, progress
 from repro.obs.runtime import OBS, Observability, configure, get_logger, span, timed
+from repro.obs.scope import TelemetryScope
 from repro.obs.timeseries import TelemetrySampler, peak_rss_kb, read_timeseries
 from repro.obs.tracing import TraceContext, current_context, shard_span
 from repro.obs import events
@@ -81,6 +82,7 @@ __all__ = [
     "Histogram",
     "Timer",
     "MetricsRegistry",
+    "TelemetryScope",
     "TelemetrySampler",
     "peak_rss_kb",
     "read_timeseries",

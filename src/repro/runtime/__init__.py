@@ -43,6 +43,7 @@ from repro.runtime.checkpoint import (
     CheckpointLoad,
     CheckpointMismatch,
     CheckpointStore,
+    IncrementalCheckpointReader,
     LeaseBook,
     RunFingerprint,
     ShardLease,
@@ -87,6 +88,7 @@ __all__ = [
     "CheckpointStore",
     "Coordinator",
     "FrameDecoder",
+    "IncrementalCheckpointReader",
     "JobSpec",
     "LeaseBook",
     "ProtocolError",

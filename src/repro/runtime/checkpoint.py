@@ -25,9 +25,19 @@ File format (one JSON object per line)::
   truncated or corrupted record and discards only that tail; every
   intact prefix record is still usable, so a crash mid-write (or a
   chaos-injected corruption) costs at most the shards behind it.
-* **Atomicity.**  The file is always replaced via write-temp-then-
-  ``os.replace`` -- a reader never observes a half-written checkpoint,
-  even if the writer dies mid-flush.
+* **Atomicity.**  Full rewrites (header creation, resume cleanups) go
+  through write-temp-then-``os.replace``, so a reader never observes a
+  half-written header.  Completed shards are *appended* (one fsynced
+  line each) rather than rewriting the whole file -- O(1) bytes per
+  shard instead of O(shards) -- and a crash mid-append leaves at most
+  one torn tail line, which :func:`load_checkpoint` already discards.
+* **Incremental reads.**  :class:`IncrementalCheckpointReader` tails a
+  live checkpoint across polls: it remembers its byte offset (guarded
+  by the last line it consumed, so an ``os.replace`` rewrite is
+  detected and re-read from scratch) and only parses/digest-verifies
+  lines it has not seen, yielding exactly the records a full
+  :func:`load_checkpoint` would -- the service's progress endpoint
+  polls it every few hundred milliseconds without re-hashing the file.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ __all__ = [
     "ShardLease",
     "LeaseBook",
     "CheckpointStore",
+    "IncrementalCheckpointReader",
     "config_digest",
     "load_checkpoint",
 ]
@@ -305,12 +316,120 @@ def load_checkpoint(path: "str | os.PathLike[str]") -> CheckpointLoad:
     return CheckpointLoad(fingerprint, records, discarded, duplicates, conflicts)
 
 
+class IncrementalCheckpointReader:
+    """Offset-tracking tail reader for a live checkpoint file.
+
+    A progress poller (the campaign service's ``GET /v1/jobs/<id>``
+    endpoint) wants to know how many shards a running job has
+    persisted, several times a second.  Re-running
+    :func:`load_checkpoint` per poll re-parses and re-SHA-256s every
+    record every time -- O(total shards) work per poll, O(n^2) over a
+    run.  This reader instead remembers the byte offset of the last
+    complete line it consumed and, on each :meth:`poll`, reads and
+    verifies only the bytes appended since.
+
+    Correctness guard: before seeking past the consumed prefix, the
+    reader re-reads the last line it consumed and compares it
+    byte-for-byte.  :class:`CheckpointStore` only ever *appends* shard
+    records, but resume cleanups (and hostile tests) atomically replace
+    the whole file; a mismatched guard line detects any such rewrite
+    and the reader transparently starts over from byte zero.  The
+    records it reports are therefore always exactly what a full
+    :func:`load_checkpoint` of the same file contents would return
+    (the equivalence a unit test asserts line by line), while a torn
+    final line -- an append caught mid-write -- is simply left
+    unconsumed until a later poll completes it.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self._reset()
+
+    def _reset(self) -> None:
+        """Forget all progress; the next poll re-reads from byte 0."""
+        self._offset = 0
+        self._guard = b""
+        self._header_seen = False
+        self.fingerprint: Optional[Dict[str, object]] = None
+        self.records: Dict[int, ShardRecord] = {}
+
+    def poll(self) -> Dict[int, ShardRecord]:
+        """Consume newly appended records; returns all records so far.
+
+        Missing files and unreadable/partial headers report as "no
+        records yet" rather than raising -- a poller may legitimately
+        race the writer's very first flush.  A digest-invalid line
+        stops consumption at its offset without advancing (matching
+        :func:`load_checkpoint`'s discard-the-tail semantics); if a
+        resume cleanup later repairs the file in place, the very next
+        poll picks up from the same offset against the clean bytes.
+        """
+        try:
+            with self.path.open("rb") as fh:
+                if self._offset:
+                    fh.seek(self._offset - len(self._guard))
+                    if fh.read(len(self._guard)) != self._guard:
+                        # The consumed prefix changed under us: the
+                        # file was rewritten (resume cleanup).  Start
+                        # over against the new contents.
+                        self._reset()
+                        fh.seek(0)
+                data = fh.read()
+        except OSError:
+            self._reset()
+            return dict(self.records)
+        consumed = self._offset
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # torn tail append; wait for the writer
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line and not self._consume_line(line):
+                break  # invalid tail; retry here on the next poll
+            consumed += len(raw)
+            self._guard = raw
+        self._offset = consumed
+        return dict(self.records)
+
+    def _consume_line(self, line: str) -> bool:
+        """Integrate one complete line; ``False`` stops at this spot."""
+        try:
+            parsed = json.loads(line)
+        except ValueError:
+            return False
+        if not isinstance(parsed, dict):
+            return False
+        if not self._header_seen:
+            digest = parsed.get("digest")
+            body = {k: v for k, v in parsed.items() if k != "digest"}
+            if (
+                parsed.get("record") != "header"
+                or digest != _digest(body)
+                or parsed.get("version") != CHECKPOINT_VERSION
+                or not isinstance(parsed.get("fingerprint"), dict)
+            ):
+                return False
+            self._header_seen = True
+            self.fingerprint = parsed["fingerprint"]
+            return True
+        shard = _parse_shard_line(parsed)
+        if shard is None:
+            return False
+        # First valid record per index wins, mirroring load_checkpoint.
+        self.records.setdefault(shard.index, shard)
+        return True
+
+
 class CheckpointStore:
     """Owns one checkpoint file for the duration of a run.
 
-    ``add()`` registers a completed shard and immediately flushes the
-    whole file atomically (write temp, ``os.replace``), so the on-disk
-    checkpoint is always a consistent prefix of the run.  Use
+    ``add()`` registers a completed shard and durably *appends* its
+    line (write + fsync): completion-order appends keep every earlier
+    byte of the file stable, which makes per-shard persistence O(1)
+    instead of rewriting the whole file, and lets
+    :class:`IncrementalCheckpointReader` tail the run cheaply.  Full
+    atomic rewrites (temp file + ``os.replace``) still happen where
+    the file's existing content must change: header creation and
+    resume-time cleanup of corrupt/duplicate lines.  Use
     :meth:`CheckpointStore.create` for a fresh run and
     :meth:`CheckpointStore.resume` to adopt (and keep extending) an
     existing file.
@@ -328,6 +447,10 @@ class CheckpointStore:
         self.discarded = 0
         self.duplicates = 0
         self.conflicts = 0
+        #: Whether the on-disk file is known to equal our in-memory
+        #: state, making a bare append of the next record sufficient.
+        #: Cleared until the first full flush establishes that.
+        self._appendable = False
 
     # -- constructors -------------------------------------------------------
 
@@ -370,6 +493,11 @@ class CheckpointStore:
             # Rewrite immediately so the corrupt tail / duplicate lines
             # are gone on disk.
             store.flush()
+        else:
+            # The file already equals our in-memory state verbatim
+            # (records were loaded in file order), so future adds may
+            # append directly.
+            store._appendable = True
         return store
 
     # -- persistence --------------------------------------------------------
@@ -386,11 +514,38 @@ class CheckpointStore:
         metrics: Optional[Dict[str, object]] = None,
         trace: Optional[List[Dict[str, object]]] = None,
     ) -> None:
-        """Record one completed shard and flush the file atomically."""
-        self.records[index] = ShardRecord(
+        """Record one completed shard and persist it durably.
+
+        The common case appends one fsynced line to the existing file
+        (O(1) per shard); a re-add of an index already held falls back
+        to a full atomic rewrite so the file never accumulates stale
+        duplicate lines.
+        """
+        record = ShardRecord(
             index=index, payload=payload, metrics=metrics, trace=trace
         )
-        self.flush()
+        held = self.records.get(index)
+        if held is not None and held.to_line() == record.to_line():
+            return  # idempotent re-delivery; the file already has it
+        rewrite = held is not None or not self._appendable
+        if held is not None:
+            # Re-insert at the end of the order so the changed line
+            # lands at (or after) any incremental reader's guard
+            # position instead of mutating the middle of the file.
+            del self.records[index]
+        self.records[index] = record
+        if rewrite:
+            self.flush()
+            return
+        try:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(record.to_line() + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            # The file vanished or the append failed part-way; a full
+            # rewrite restores a consistent state.
+            self.flush()
 
     def _header_line(self) -> str:
         body = {
@@ -402,17 +557,22 @@ class CheckpointStore:
         return _canonical(body)
 
     def flush(self) -> None:
-        """Write the full checkpoint via temp file + ``os.replace``."""
+        """Rewrite the full checkpoint via temp file + ``os.replace``.
+
+        Records are written in insertion (completion) order, never
+        re-sorted: that keeps the bytes of everything already on disk
+        stable when :meth:`add` later appends, which is what lets
+        :class:`IncrementalCheckpointReader` resume from a byte offset.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(
             f".{self.path.name}.tmp.{os.getpid()}"
         )
         lines = [self._header_line()]
-        lines.extend(
-            self.records[i].to_line() for i in sorted(self.records)
-        )
+        lines.extend(record.to_line() for record in self.records.values())
         tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
         os.replace(tmp, self.path)
+        self._appendable = True
 
 
 @dataclass(frozen=True)

@@ -170,6 +170,15 @@ class RuntimePolicy:
     directory so an interrupted resume is itself resumable.  Completed
     runs append their :class:`RunOutcome` to ``outcomes`` for exit-code
     and provenance reporting.
+
+    ``on_shard_complete``/``on_shard_retry`` are live progress hooks
+    for a supervising caller (the campaign service's job status
+    endpoint): the executor invokes them in the dispatching process --
+    never in pool workers -- as ``(shard_index, completed_count,
+    total_shards)`` after every completed or replayed shard and
+    ``(shard_index, failure_count, reason)`` after every scheduled
+    retry.  Hooks must be fast and must not raise; they observe the
+    run, they do not steer it.
     """
 
     checkpoint_dir: Optional[str] = None
@@ -181,6 +190,8 @@ class RuntimePolicy:
     backoff_cap_s: float = 8.0
     chaos: Optional[ChaosPolicy] = None
     outcomes: List[RunOutcome] = field(default_factory=list)
+    on_shard_complete: Optional[Callable[[int, int, int], None]] = None
+    on_shard_retry: Optional[Callable[[int, int, str], None]] = None
 
     @property
     def storage_dir(self) -> Optional[str]:
@@ -495,6 +506,8 @@ class _ResilientRun:
         if OBS.enabled:
             OBS.registry.counter("runtime.shard_retries").inc()
             OBS.trace.record(events.ShardRetried(index, count, reason, delay))
+        if self.policy.on_shard_retry is not None:
+            self.policy.on_shard_retry(index, count, reason)
         return delay
 
     def _complete(self, index: int, result: Any, metrics, trace) -> None:
@@ -506,6 +519,10 @@ class _ResilientRun:
                 OBS.registry.counter("runtime.checkpoint_writes").inc()
         if self.on_shard_done is not None:
             self.on_shard_done(index)
+        if self.policy.on_shard_complete is not None:
+            self.policy.on_shard_complete(
+                index, len(self.results), self.outcome.total_shards
+            )
 
     def _sleep(self, seconds: float) -> None:
         """Interruptible sleep (wakes early when a signal arrived)."""
@@ -597,7 +614,21 @@ class _ResilientRun:
                             max_workers=processes, mp_context=context
                         )
                     index = queue.popleft()
-                    future, deadline = self._submit(executor, index)
+                    try:
+                        future, deadline = self._submit(executor, index)
+                    except BrokenProcessPool:
+                        # A worker died between wait() rounds and the
+                        # pool noticed before we resubmitted.  Charge a
+                        # crash to this shard and everything in flight
+                        # (their futures are doomed with the pool),
+                        # then rebuild on the next pass.
+                        self._retry_or_quarantine(index, "crash", retry_at)
+                        for _f, (i, _d) in list(inflight.items()):
+                            self._retry_or_quarantine(i, "crash", retry_at)
+                        inflight.clear()
+                        _terminate_executor(executor)
+                        executor = None
+                        break
                     inflight[future] = (index, deadline)
                 if not inflight:
                     if not retry_at:
@@ -673,9 +704,13 @@ class _ResilientRun:
         """Execute the plan; returns (plan-ordered results, outcome)."""
         replayed = self._open_store()
         self.outcome.resumed_shards = len(replayed)
-        for index in replayed:
+        for position, index in enumerate(replayed):
             if self.on_shard_done is not None:
                 self.on_shard_done(index)
+            if self.policy.on_shard_complete is not None:
+                self.policy.on_shard_complete(
+                    index, position + 1, self.outcome.total_shards
+                )
         pending = [
             i for i in range(len(self.shard_args)) if i not in self.results
         ]

@@ -1,0 +1,187 @@
+"""End-to-end campaign service test against a real subprocess server.
+
+The acceptance path for PR 10: a genuine ``repro serve`` process (own
+interpreter, ephemeral port parsed from its stderr) is driven purely
+through its HTTP API --
+
+* submit -> poll -> fetch: the returned table is **byte-identical** to
+  ``repro reliability`` run as a separate CLI process with the same
+  parameters;
+* a second identical submission never recomputes: the executed-job
+  counter is unchanged, the cache-hit counter advances, and the result
+  bytes are identical to the first fetch;
+* a warm ``GET /v1/cache/<fingerprint>`` answers in under 50 ms;
+* SIGTERM drains the server and it exits 0 (asserted at teardown).
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: One canonical experiment, expressed both as a service spec and as
+#: the equivalent ``repro reliability`` invocation.
+SPEC = {
+    "schemes": ["ecc_dimm", "xed"],
+    "systems": 20_000,
+    "shard_size": 5_000,
+    "seed": 7,
+}
+CLI_ARGS = [
+    "reliability", "--schemes", "ecc_dimm", "xed",
+    "--systems", "20000", "--shard-size", "5000", "--seed", "7",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return env
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """A live ``repro serve`` subprocess on an ephemeral port."""
+    data_dir = tmp_path_factory.mktemp("service-data")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--bind", "127.0.0.1:0", "--data-dir", str(data_dir),
+        ],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stderr.readline()
+    match = re.search(r"serving campaigns on 127\.0\.0\.1:(\d+)", line)
+    assert match, f"no bound-address line on stderr: {line!r}"
+    base = f"http://127.0.0.1:{match.group(1)}"
+    # The socket is bound before the line prints, so readyz is
+    # reachable immediately; poll briefly anyway for slow machines.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            urllib.request.urlopen(base + "/readyz", timeout=2.0)
+            break
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.05)
+    yield base
+    # SIGTERM must drain and exit 0 -- the deployment contract.
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30.0) == 0
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    def request(method, path, body=None):
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        req = urllib.request.Request(server + path, data=data, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=30.0) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    return request
+
+
+def _submit_and_wait(client, spec, timeout=300.0):
+    status, raw = client("POST", "/v1/jobs", spec)
+    assert status == 202, raw
+    submitted = json.loads(raw)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, raw = client("GET", f"/v1/jobs/{submitted['job_id']}")
+        doc = json.loads(raw)
+        if doc["state"] in ("done", "failed"):
+            assert doc["state"] == "done", doc["error"]
+            return submitted
+        time.sleep(0.2)
+    raise AssertionError("job never reached a terminal state")
+
+
+def _stats(client):
+    return json.loads(client("GET", "/v1/stats")[1])
+
+
+class TestServiceEndToEnd:
+    def test_result_is_byte_identical_to_cli(self, client):
+        submitted = _submit_and_wait(client, SPEC)
+        status, raw = client(
+            "GET", f"/v1/jobs/{submitted['job_id']}/result"
+        )
+        assert status == 200
+        body = json.loads(raw)["body"]
+        cli = subprocess.run(
+            [sys.executable, "-m", "repro", *CLI_ARGS],
+            env=_env(), capture_output=True, text=True, timeout=300.0,
+        )
+        assert cli.returncode == 0, cli.stderr
+        assert body["table"] + "\n" == cli.stdout
+        assert body["provenance"]["complete"] is True
+
+    def test_second_submission_is_a_pure_cache_hit(self, client):
+        first = _submit_and_wait(client, SPEC)
+        _, first_bytes = client(
+            "GET", f"/v1/jobs/{first['job_id']}/result"
+        )
+        before = _stats(client)
+        status, raw = client("POST", "/v1/jobs", SPEC)
+        assert status == 202
+        again = json.loads(raw)
+        assert again["job_id"] == first["job_id"]
+        assert again["disposition"] == "cached"
+        assert again["state"] == "done"
+        _, second_bytes = client(
+            "GET", f"/v1/jobs/{again['job_id']}/result"
+        )
+        assert second_bytes == first_bytes, "cache hit must be bit-identical"
+        after = _stats(client)
+        assert after["jobs.executed"] == before["jobs.executed"], (
+            "a cache hit must not recompute"
+        )
+        assert after["cache.hits"] > before["cache.hits"]
+
+    def test_cache_endpoint_serves_same_bytes(self, client):
+        submitted = _submit_and_wait(client, SPEC)
+        _, via_job = client(
+            "GET", f"/v1/jobs/{submitted['job_id']}/result"
+        )
+        status, via_cache = client(
+            "GET", f"/v1/cache/{submitted['fingerprint']}"
+        )
+        assert status == 200
+        assert via_cache == via_job
+
+    def test_warm_cache_lookup_is_fast(self, client):
+        submitted = _submit_and_wait(client, SPEC)
+        path = f"/v1/cache/{submitted['fingerprint']}"
+        client("GET", path)  # warm-up (connection, interpreter paths)
+        samples = []
+        for _ in range(5):
+            started = time.perf_counter()
+            status, _ = client("GET", path)
+            samples.append(time.perf_counter() - started)
+            assert status == 200
+        assert min(samples) < 0.050, f"warm cache read too slow: {samples}"
+
+    def test_health_endpoints(self, client):
+        status, raw = client("GET", "/healthz")
+        assert status == 200 and json.loads(raw)["status"] == "ok"
+        status, raw = client("GET", "/readyz")
+        assert status == 200 and json.loads(raw)["status"] == "ready"
